@@ -1,0 +1,54 @@
+"""Fig 12 / Fig 13 benchmarks: traffic-efficiency and road-safety impact."""
+
+from repro.experiments.figures.fig12 import fig12a, fig12b
+from repro.experiments.figures.fig13 import fig13
+
+
+def test_fig12a(benchmark, bench_scale):
+    """Case 1 needs the road to fill before GF can deliver, so it runs at
+    full duration regardless of the bench scale."""
+    duration = max(bench_scale["duration"], 200.0)
+    comparison = benchmark.pedantic(
+        lambda: fig12a(duration=duration, seed=bench_scale["seed"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["af_final"] = comparison.af.final_count
+    benchmark.extra_info["atk_final"] = comparison.atk.final_count
+    benchmark.extra_info["af_block_time"] = comparison.af.block_time
+    # Attacked: the notification never arrives and the jam keeps growing.
+    assert comparison.atk.block_time is None
+    assert comparison.atk.final_count >= comparison.af.final_count
+
+
+def test_fig12b(benchmark, bench_scale):
+    duration = max(bench_scale["duration"], 120.0)
+    comparison = benchmark.pedantic(
+        lambda: fig12b(duration=duration, seed=bench_scale["seed"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["af_final"] = comparison.af.final_count
+    benchmark.extra_info["atk_final"] = comparison.atk.final_count
+    benchmark.extra_info["af_block_time"] = comparison.af.block_time
+    # Attack-free: the CBF warning closes the entrance within seconds and
+    # the on-road count plateaus; attacked: it keeps growing.
+    assert comparison.af.block_time is not None
+    assert comparison.af.block_time < 20.0
+    assert comparison.atk.block_time is None
+    assert comparison.atk.final_count > comparison.af.final_count + 20
+
+
+def test_fig13(benchmark, bench_scale):
+    comparison = benchmark.pedantic(
+        lambda: fig13(seed=bench_scale["seed"]), rounds=1, iterations=1
+    )
+    benchmark.extra_info["af_collided"] = comparison.af.collided
+    benchmark.extra_info["atk_collided"] = comparison.atk.collided
+    benchmark.extra_info["af_v2_warned_at"] = comparison.af.v2_warned_at
+    benchmark.extra_info["atk_collision_at"] = comparison.atk.collision_at
+    # The paper's Fig 13 outcome: warned -> safe; blocked -> collision.
+    assert not comparison.af.collided
+    assert comparison.af.v2_warned_at is not None
+    assert comparison.atk.collided
+    assert comparison.atk.v2_warned_at is None

@@ -1,0 +1,14 @@
+"""Benchmarks for Tables I and II (configuration tables)."""
+
+from repro.experiments.figures.tables import table1, table2
+
+
+def test_table1_idm_parameters(benchmark):
+    text = benchmark(table1)
+    assert "Desired velocity" in text
+    assert "30 m/s" in text
+
+
+def test_table2_communication_ranges(benchmark):
+    text = benchmark(table2)
+    assert "1,283" in text and "359" in text

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Use the library as a protocol sandbox: sweep CBF contention timers.
+
+Beyond reproducing the paper, the stack is a general GeoNetworking testbed.
+This example sweeps TO_MAX and measures how the contention window trades
+flood latency against redundant transmissions on a static chain — the kind
+of tuning study EN 302 636-4-1 leaves to deployments.
+
+Usage: python examples/custom_protocol_tuning.py
+"""
+
+import dataclasses
+
+from repro.geo import Position, RectangularArea
+from repro.geonet import GeoNetConfig, GeoNode, StaticMobility
+from repro.radio import BroadcastChannel, DSRC
+from repro.security import CertificateAuthority
+from repro.sim import RandomStreams, Simulator
+
+
+def run_flood(to_max: float, n_nodes: int = 40, spacing: float = 100.0):
+    """Flood a chain once; return (latency to last node, total broadcasts)."""
+    sim = Simulator()
+    streams = RandomStreams(11)
+    channel = BroadcastChannel(sim, streams)
+    ca = CertificateAuthority()
+    config = GeoNetConfig(to_max=to_max, dist_max=DSRC.max_range_m)
+    nodes = [
+        GeoNode(
+            sim=sim,
+            channel=channel,
+            config=config,
+            credentials=ca.enroll(f"n{i}"),
+            mobility=StaticMobility(Position(i * spacing, 0.0)),
+            tx_range=DSRC.vehicle_range_m,
+            rng=streams.get(f"b{i}"),
+            name=f"n{i}",
+        )
+        for i in range(n_nodes)
+    ]
+    arrivals = {}
+    for node in nodes:
+        node.router.on_deliver.append(
+            lambda n, p: arrivals.setdefault(n.name, sim.now)
+        )
+    sim.run_until(8.0)
+    start = sim.now
+    area = RectangularArea(-100, n_nodes * spacing + 100, -50, 50)
+    nodes[0].originate(area, "tuning-probe")
+    sim.run_until(start + 5.0)
+    rebroadcasts = sum(n.router.cbf.stats.rebroadcasts for n in nodes)
+    last = arrivals.get(nodes[-1].name)
+    latency = None if last is None else last - start
+    coverage = len(arrivals) / n_nodes
+    return latency, rebroadcasts, coverage
+
+
+def main() -> int:
+    print("CBF contention-window sweep (40 nodes, 100 m apart, DSRC):")
+    print(f"  {'TO_MAX':>8} {'flood latency':>14} {'broadcasts':>11} {'coverage':>9}")
+    for to_max in (0.02, 0.05, 0.1, 0.2, 0.4):
+        latency, rebroadcasts, coverage = run_flood(to_max)
+        latency_txt = f"{latency * 1000:10.1f} ms" if latency else "   (failed)"
+        print(
+            f"  {to_max * 1000:6.0f}ms {latency_txt:>14} "
+            f"{rebroadcasts:11d} {coverage:9.0%}"
+        )
+    print()
+    print("Longer contention windows suppress more duplicates but delay the")
+    print("flood roughly linearly per hop — the standard's 100 ms default is")
+    print("a latency/overhead compromise.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Traffic-efficiency scenario: a hazard warning keeps a road from jamming.
+
+Reproduces the paper's Fig 12 showcase at reduced duration: a hazard blocks
+the eastbound lanes at 3 600 m; the stopped vehicle at the event site floods
+a CBF warning every second; an entrance gate stops admitting vehicles when
+the warning arrives.  With the intra-area blockage attacker in the middle of
+the road the warning never reaches the entrance and the jam keeps growing.
+
+Usage: python examples/hazard_warning.py [duration_seconds]
+"""
+
+import sys
+
+from repro.experiments.impact import compare_impact
+
+
+def sparkline(values, width=60):
+    """Render a vehicle-count series as a text sparkline."""
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = values[::step]
+    lo, hi = min(sampled), max(sampled)
+    span = max(hi - lo, 1)
+    blocks = " .:-=+*#%@"
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled)
+
+
+def main() -> int:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    print(f"Running the CBF hazard-warning scenario for {duration:.0f}s "
+          f"(attack-free vs attacked)...")
+    comparison = compare_impact("2", duration=duration, seed=3)
+    print()
+    print(comparison.format())
+    print()
+    print("eastbound vehicles over time (one sample per second):")
+    print(f"  attack-free [{comparison.af.east_counts[-1]:3d} final]: "
+          f"{sparkline(comparison.af.east_counts)}")
+    print(f"  attacked    [{comparison.atk.east_counts[-1]:3d} final]: "
+          f"{sparkline(comparison.atk.east_counts)}")
+    print()
+    if comparison.af.block_time is not None:
+        print(f"Attack-free: the entrance closed {comparison.af.block_time:.1f}s "
+              f"in; the on-road count plateaus.")
+    if comparison.atk.block_time is None:
+        print("Attacked: the warning never made it past the blocker — every "
+              "vehicle drives into the jam.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

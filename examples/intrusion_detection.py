@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Detect both attacks with the passive misbehavior monitors.
+
+Deploys a :class:`~repro.core.detection.MisbehaviorDetector` on every
+vehicle of the full road scenario and compares the fleet-wide alert volume
+across three runs: attack-free, inter-area interception, intra-area
+blockage.  The attacks are stealthy against *prevention* (the replayed
+frames authenticate), but they leave clearly observable signatures.
+
+Usage: python examples/intrusion_detection.py [duration_seconds]
+"""
+
+import collections
+import sys
+
+from repro.core.detection import MisbehaviorDetector
+from repro.experiments import AttackKind, ExperimentConfig
+from repro.experiments.world import World
+
+
+def run_with_detectors(config, attacked: bool, seed: int = 5):
+    world = World(config, attacked=attacked, seed=seed)
+    detectors = []
+
+    # Instrument vehicles as they (already) exist and as they spawn.
+    def instrument(node):
+        detectors.append(
+            MisbehaviorDetector(node, plausible_range=config.vehicle_range)
+        )
+
+    for node in world.nodes.values():
+        instrument(node)
+    original_attach = world._attach_node
+
+    def attach_and_instrument(vehicle):
+        original_attach(vehicle)
+        instrument(world.nodes[vehicle.vehicle_id])
+
+    world.traffic.on_spawn.remove(original_attach)
+    world.traffic.on_spawn.insert(0, attach_and_instrument)
+
+    world.run()
+    totals = collections.Counter()
+    for detector in detectors:
+        totals["replayed-beacon"] += detector.stats.replayed_beacons
+        totals["implausible-position"] += detector.stats.implausible_positions
+        totals["rhl-anomaly"] += detector.stats.rhl_anomalies
+    return totals, len(detectors)
+
+
+def main() -> int:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+    scenarios = [
+        ("attack-free", ExperimentConfig.inter_area_default(duration=duration), False),
+        (
+            "inter-area interception",
+            ExperimentConfig.inter_area_default(duration=duration),
+            True,
+        ),
+        (
+            "intra-area blockage",
+            ExperimentConfig.intra_area_default(duration=duration),
+            True,
+        ),
+    ]
+    print(f"fleet-wide alerts over {duration:.0f}s (one detector per vehicle):\n")
+    print(f"  {'scenario':<26} {'replayed':>9} {'implausible':>12} {'rhl':>6}")
+    for label, config, attacked in scenarios:
+        totals, n = run_with_detectors(config, attacked)
+        print(
+            f"  {label:<26} {totals['replayed-beacon']:9d} "
+            f"{totals['implausible-position']:12d} {totals['rhl-anomaly']:6d}"
+            f"   ({n} detectors)"
+        )
+    print(
+        "\nAttack-free traffic is alert-silent; every attack lights up its "
+        "own signature."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

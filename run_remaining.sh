@@ -1,0 +1,8 @@
+#!/bin/sh
+for t in fig9a fig9b fig9c fig9d fig9e fig9-tuning fig9-source-location fig10 fig14a fig14b; do
+  python -m repro.experiments.cli "$t" --runs 2 --duration 150
+done
+python -m repro.experiments.cli fig12a --duration 200
+python -m repro.experiments.cli fig12b --duration 200
+python -m repro.experiments.cli fig13
+python -m repro.experiments.cli overhead --duration 60

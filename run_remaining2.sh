@@ -1,0 +1,9 @@
+#!/bin/sh
+python -m repro.experiments.cli fig9e --runs 2 --duration 150
+python -m repro.experiments.cli fig10 --runs 2 --duration 150
+python -m repro.experiments.cli fig14a --runs 2 --duration 150
+python -m repro.experiments.cli fig14b --runs 2 --duration 150
+python -m repro.experiments.cli fig12a --duration 200
+python -m repro.experiments.cli fig12b --duration 200
+python -m repro.experiments.cli fig13
+python -m repro.experiments.cli overhead --duration 60

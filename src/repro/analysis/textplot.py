@@ -1,0 +1,56 @@
+"""Terminal rendering of experiment series.
+
+The evaluation figures are reception-rate time series; these helpers render
+them legibly in CI logs and example output without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[Optional[float]],
+    *,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    gap: str = "·",
+) -> str:
+    """One character per value, scaled into [lo, hi]; None renders as gap."""
+    if hi <= lo:
+        raise ValueError("need hi > lo")
+    chars = []
+    span = hi - lo
+    for value in values:
+        if value is None:
+            chars.append(gap)
+            continue
+        clamped = min(max(value, lo), hi)
+        idx = round((clamped - lo) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def series_table(
+    rows: Sequence[tuple],
+    *,
+    bin_width: float,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render labelled series as aligned sparklines with a time axis.
+
+    ``rows`` is a sequence of (label, values) pairs.
+    """
+    if not rows:
+        return "(no series)"
+    label_width = max(len(label) for label, _values in rows)
+    n = max(len(values) for _label, values in rows)
+    lines = []
+    for label, values in rows:
+        lines.append(f"{label:<{label_width}} |{sparkline(values, lo=lo, hi=hi)}|")
+    axis = f"{'':<{label_width}}  0s{'':{max(0, n - 8)}}{n * bin_width:.0f}s"
+    lines.append(axis)
+    return "\n".join(lines)

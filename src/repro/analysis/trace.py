@@ -1,0 +1,123 @@
+"""Non-invasive protocol tracing.
+
+A :class:`ChannelTracer` wraps a channel's ``transmit`` and records one
+structured :class:`TraceRecord` per transmission — who sent what kind of
+frame from where, to whom.  Useful for debugging forwarding behaviour and
+for building custom analyses (the attack diagnostics in this repository's
+development were exactly these traces).
+
+The tracer never changes delivery semantics; it can be detached again.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.radio.channel import BroadcastChannel
+from repro.radio.frames import FrameKind
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One transmission."""
+
+    time: float
+    kind: FrameKind
+    sender_addr: int
+    dest_addr: Optional[int]
+    payload_type: str
+    x: float
+    y: float
+    tx_range: float
+
+    def line(self) -> str:
+        dest = "*" if self.dest_addr is None else str(self.dest_addr)
+        return (
+            f"{self.time:10.4f}s  {self.kind.value:<7} "
+            f"{self.sender_addr:>6} -> {dest:<6} "
+            f"@({self.x:7.1f},{self.y:5.1f})  r={self.tx_range:6.1f}  "
+            f"{self.payload_type}"
+        )
+
+
+class ChannelTracer:
+    """Records every transmission on a channel until detached."""
+
+    def __init__(self, channel: BroadcastChannel, *, max_records: int = 200_000):
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.channel = channel
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._original_transmit = channel.transmit
+        channel.transmit = self._traced_transmit
+        self._attached = True
+
+    # ------------------------------------------------------------------
+    def _traced_transmit(self, sender, kind, payload, *, dest_addr=None, tx_range=None):
+        frame = self._original_transmit(
+            sender, kind, payload, dest_addr=dest_addr, tx_range=tx_range
+        )
+        if len(self.records) < self.max_records:
+            self.records.append(
+                TraceRecord(
+                    time=frame.tx_time,
+                    kind=kind,
+                    sender_addr=frame.sender_addr,
+                    dest_addr=dest_addr,
+                    payload_type=type(payload).__name__,
+                    x=frame.tx_position.x,
+                    y=frame.tx_position.y,
+                    tx_range=frame.tx_range,
+                )
+            )
+        else:
+            self.dropped += 1
+        return frame
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        *,
+        kind: Optional[FrameKind] = None,
+        sender_addr: Optional[int] = None,
+        since: float = 0.0,
+        payload_type: Optional[str] = None,
+    ) -> Iterator[TraceRecord]:
+        """Iterate matching records."""
+        for record in self.records:
+            if kind is not None and record.kind is not kind:
+                continue
+            if sender_addr is not None and record.sender_addr != sender_addr:
+                continue
+            if record.time < since:
+                continue
+            if payload_type is not None and record.payload_type != payload_type:
+                continue
+            yield record
+
+    def counts(self) -> Counter:
+        """Transmissions per frame kind."""
+        return Counter(record.kind for record in self.records)
+
+    def to_text(self, *, limit: int = 50, **filter_kwargs) -> str:
+        """Render (filtered) records as aligned text lines."""
+        lines = []
+        for record in self.filter(**filter_kwargs):
+            lines.append(record.line())
+            if len(lines) >= limit:
+                lines.append(f"... ({len(self.records)} records total)")
+                break
+        return "\n".join(lines) if lines else "(no matching records)"
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Restore the channel's original transmit.  Idempotent."""
+        if self._attached:
+            self.channel.transmit = self._original_transmit
+            self._attached = False

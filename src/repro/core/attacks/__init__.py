@@ -1,0 +1,17 @@
+"""Proof-of-concept outsider attacks against GeoNetworking (paper §III),
+plus the insider blackhole/grayhole baseline the paper contrasts with
+(§VI)."""
+
+from repro.core.attacks.base import AttackerStats, RoadsideAttacker
+from repro.core.attacks.blackhole import InsiderBlackhole, OutsiderBlackhole
+from repro.core.attacks.inter_area import InterAreaInterceptor
+from repro.core.attacks.intra_area import IntraAreaBlocker
+
+__all__ = [
+    "AttackerStats",
+    "InsiderBlackhole",
+    "InterAreaInterceptor",
+    "IntraAreaBlocker",
+    "OutsiderBlackhole",
+    "RoadsideAttacker",
+]

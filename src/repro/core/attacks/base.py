@@ -1,0 +1,137 @@
+"""The roadside attacker substrate.
+
+The threat model (paper §III-A), enforced structurally:
+
+* **Outsider** — the attacker holds *no* CA credentials.  Its only write
+  capabilities are re-transmitting captured frames verbatim and rewriting
+  fields outside the signed body (RHL, per-hop sender fields).  There is no
+  code path here that signs anything.
+* **Active** — it has a promiscuous sniffer whose receive range equals its
+  (tunable) attack range: a stationary roadside mast can hear and reach well
+  beyond the vehicle-to-vehicle range.
+* **Pseudonymous** — its link-layer address is drawn from the pseudonym
+  range that privacy regulation forces the network to accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.position import Position
+from repro.radio.channel import BroadcastChannel, RadioInterface
+from repro.radio.frames import Frame, FrameKind
+from repro.security.pseudonym import PseudonymPool
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@dataclass
+class AttackerStats:
+    """What the attacker observed and injected."""
+
+    frames_sniffed: int = 0
+    beacons_sniffed: int = 0
+    packets_sniffed: int = 0
+    replays_sent: int = 0
+
+
+class RoadsideAttacker:
+    """Base class for stationary roadside attackers.
+
+    Subclasses implement :meth:`react` and call :meth:`replay_frame` /
+    :meth:`inject` — the only transmission primitives the threat model
+    allows.
+    """
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        channel: BroadcastChannel,
+        streams: RandomStreams,
+        position: Position,
+        attack_range: float,
+        reaction_delay: float = 0.0005,
+        name: str = "attacker",
+    ):
+        if attack_range <= 0:
+            raise ValueError("attack_range must be positive")
+        if reaction_delay < 0:
+            raise ValueError("reaction_delay must be non-negative")
+        self.sim = sim
+        self.channel = channel
+        self.position = position
+        self.attack_range = float(attack_range)
+        self.reaction_delay = reaction_delay
+        self.name = name
+        self.stats = AttackerStats()
+        self._pseudonyms = PseudonymPool(streams.get(f"attacker:{name}"))
+        self.iface = RadioInterface(
+            get_position=lambda: self.position,
+            tx_range=self.attack_range,
+            # Every link touching the attacker (sniffing and injection) runs
+            # at the attack range — the roadside mast's asymmetric channel.
+            link_range=self.attack_range,
+            address=self._pseudonyms.draw(),
+            promiscuous=True,
+        )
+        channel.register(self.iface)
+        self.iface.attach(self._on_frame)
+        self._active = True
+
+    # ------------------------------------------------------------------
+    # sniffing
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        if not self._active:
+            return
+        self.stats.frames_sniffed += 1
+        if frame.kind is FrameKind.BEACON:
+            self.stats.beacons_sniffed += 1
+        else:
+            self.stats.packets_sniffed += 1
+        if self.reaction_delay > 0:
+            self.sim.schedule(self.reaction_delay, self._react_safely, frame)
+        else:
+            self._react_safely(frame)
+
+    def _react_safely(self, frame: Frame) -> None:
+        if self._active:
+            self.react(frame)
+
+    def react(self, frame: Frame) -> None:  # pragma: no cover - abstract
+        """Subclass hook: decide what to do with a captured frame."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # the permitted write primitives
+    # ------------------------------------------------------------------
+    def replay_frame(
+        self, frame: Frame, *, tx_range: Optional[float] = None
+    ) -> None:
+        """Re-transmit a captured frame's payload verbatim."""
+        self.stats.replays_sent += 1
+        self.iface.send(frame.kind, frame.payload, tx_range=tx_range)
+
+    def inject(
+        self, kind: FrameKind, payload, *, tx_range: Optional[float] = None
+    ) -> None:
+        """Transmit a payload built from captured material.
+
+        Payload construction is constrained by the object model: signed
+        bodies are frozen, so the only thing a subclass can vary relative to
+        a capture is the unsigned per-hop fields.
+        """
+        self.stats.replays_sent += 1
+        self.iface.send(kind, payload, tx_range=tx_range)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Take the attacker off the air."""
+        if not self._active:
+            return
+        self._active = False
+        self.channel.unregister(self.iface)

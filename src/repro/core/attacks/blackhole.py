@@ -1,0 +1,165 @@
+"""The classic blackhole attack — the *insider* baseline (paper §VI).
+
+The paper positions its outsider attacks against the well-known blackhole
+attack [7]: an attacker who advertises a **forged** position close to the
+destination to attract GF traffic, then silently drops whatever it
+receives.  Crucially, forged beacons require a *signature that verifies* —
+i.e., a CA-issued certificate.  This module implements both sides of that
+comparison:
+
+* :class:`InsiderBlackhole` holds stolen/compromised credentials; its
+  forged beacons authenticate, it attracts packets and drops them.
+* :class:`OutsiderBlackhole` has no credentials; its forged beacons fail
+  verification at every receiver and the attack is a no-op — which is
+  exactly why the paper's *replay*-based attacks matter.
+
+A ``grayhole_forward_probability`` turns the insider into a grayhole
+(selective forwarding) variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geo.position import Position, PositionVector
+from repro.geonet.packets import BeaconBody, GeoBroadcastPacket
+from repro.radio.channel import BroadcastChannel, RadioInterface
+from repro.radio.frames import Frame, FrameKind
+from repro.security.certificates import Certificate, Credentials
+from repro.security.pseudonym import PseudonymPool
+from repro.security.signing import sign
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.random import RandomStreams
+
+
+class _BlackholeBase:
+    """Shared machinery: beacon a fake position, swallow attracted packets."""
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        channel: BroadcastChannel,
+        streams: RandomStreams,
+        position: Position,
+        advertised_position: Position,
+        credentials: Optional[Credentials],
+        tx_range: float = 486.0,
+        beacon_period: float = 3.0,
+        grayhole_forward_probability: float = 0.0,
+        name: str = "blackhole",
+    ):
+        if not 0.0 <= grayhole_forward_probability <= 1.0:
+            raise ValueError("grayhole_forward_probability must be in [0, 1]")
+        self.sim = sim
+        self.channel = channel
+        self.position = position
+        #: The lie: where the forged beacons claim the attacker is.
+        self.advertised_position = advertised_position
+        self.credentials = credentials
+        self.name = name
+        self._rng = streams.get(f"blackhole:{name}")
+        self._grayhole_p = grayhole_forward_probability
+        self.iface = RadioInterface(
+            get_position=lambda: self.position,
+            tx_range=tx_range,
+            address=PseudonymPool(self._rng).draw(),
+        )
+        channel.register(self.iface)
+        self.iface.attach(self._on_frame)
+        self.packets_attracted = 0
+        self.packets_dropped = 0
+        self.packets_forwarded = 0
+        self.beacons_forged = 0
+        self._process = PeriodicProcess(
+            sim,
+            beacon_period,
+            self._forge_beacon,
+            start_delay=self._rng.uniform(0, beacon_period),
+        )
+
+    # ------------------------------------------------------------------
+    def _forge_beacon(self) -> None:
+        body = BeaconBody(
+            source_addr=self.iface.address,
+            pv=PositionVector(
+                position=self.advertised_position,
+                speed=0.0,
+                heading=0.0,
+                timestamp=self.sim.now,
+            ),
+        )
+        self.beacons_forged += 1
+        self.iface.send(FrameKind.BEACON, self._sign(body))
+
+    def _sign(self, body):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.GEO_UNICAST:
+            return
+        if frame.dest_addr != self.iface.address:
+            return
+        packet = frame.payload
+        if not isinstance(packet, GeoBroadcastPacket):
+            return
+        self.packets_attracted += 1
+        if self._grayhole_p > 0.0 and self._rng.random() < self._grayhole_p:
+            # Grayhole variant: occasionally forward to stay undetected.
+            self.packets_forwarded += 1
+            self.iface.send(FrameKind.GEO_BROADCAST, packet)
+        else:
+            self.packets_dropped += 1
+
+    def stop(self) -> None:
+        """Take the attacker off the air."""
+        self._process.stop()
+        if self.iface.channel is not None:
+            self.channel.unregister(self.iface)
+
+
+class InsiderBlackhole(_BlackholeBase):
+    """A blackhole with valid (compromised) credentials.
+
+    Its forged beacons verify, so GeoNetworking's authentication does *not*
+    stop it — this is the attack the certificate infrastructure is sized
+    against, and the baseline the paper's outsider attacks sidestep.
+    """
+
+    def __init__(self, *, credentials: Credentials, **kwargs):
+        if credentials is None:
+            raise ValueError("an insider needs credentials")
+        super().__init__(credentials=credentials, **kwargs)
+
+    def _sign(self, body):
+        return sign(body, self.credentials)
+
+
+class OutsiderBlackhole(_BlackholeBase):
+    """A blackhole *without* credentials.
+
+    It signs with a self-made certificate; every receiver rejects the
+    beacons, nothing is attracted, and the attack fails — demonstrating
+    that authentication does its job against forgery (paper §III-B: "Such
+    forged beacons will not be accepted ... because the authentication
+    fails").
+    """
+
+    def __init__(self, **kwargs):
+        kwargs.pop("credentials", None)
+        self_made = Credentials(
+            certificate=Certificate(
+                subject_id="outsider-blackhole",
+                public_token="self-issued-public",
+                ca_name="USDOT-CA",
+                ca_signature="self-issued-signature",
+            ),
+            private_token="self-issued-private",
+        )
+        super().__init__(credentials=self_made, **kwargs)
+
+    def _sign(self, body):
+        # Signing "works" locally, but the keypair was never enrolled with
+        # the CA, so verification fails at every legitimate receiver.
+        return sign(body, self.credentials)

@@ -1,0 +1,40 @@
+"""The inter-area interception attack (paper §III-B).
+
+The attacker eavesdrops on unencrypted beacons and immediately re-broadcasts
+each one at its own (larger) attack range.  Receivers authenticate the
+replayed beacon successfully — it is a legitimate vehicle's validly-signed
+beacon, merely relayed — and, lacking any distance plausibility check,
+insert the advertiser into their location table as a *neighbor* even though
+it is far out of their radio coverage.  When such a victim later runs GF, it
+tends to pick the poisoned entry (it is closest to the destination), unicasts
+the packet to an unreachable node, and — with no acknowledgement in the
+protocol — the packet is silently intercepted.
+
+The evaluation follows the paper: "The attacker rebroadcasts all beacons
+that it hears to the vehicles within its communication coverage."
+"""
+
+from __future__ import annotations
+
+from repro.core.attacks.base import RoadsideAttacker
+from repro.radio.frames import Frame, FrameKind
+from repro.security.signing import SignedMessage
+
+
+class InterAreaInterceptor(RoadsideAttacker):
+    """Replays every overheard beacon at the attack range."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.beacons_replayed = 0
+
+    def react(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.BEACON:
+            return
+        payload = frame.payload
+        if not isinstance(payload, SignedMessage):
+            return
+        if frame.sender_addr == self.iface.address:
+            return  # never re-replay our own transmissions
+        self.beacons_replayed += 1
+        self.replay_frame(frame)

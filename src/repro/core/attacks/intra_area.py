@@ -1,0 +1,70 @@
+"""The intra-area blockage attack (paper §III-C).
+
+The attacker captures a CBF GeoBroadcast the first time it hears it and
+immediately re-broadcasts it, impersonating a forwarder with the smallest
+contention timeout.  Candidate forwarders that were contending treat the
+replay as a duplicate and discard their buffered copies (CBF verifies
+neither the hop count nor the duplicate's sender).  To keep fresh receivers
+of the replay from re-flooding the packet, the attacker rewrites the
+integrity-unprotected RHL field to 1: fresh receivers decrement it to 0 and
+never forward.
+
+Two modes mirror the paper's Spot 1 / Spot 2 variants:
+
+* **RHL-rewrite** (default, Spot 1): replay at full attack range with RHL=1.
+* **Targeted** (Spot 2 / the Fig 13 road-safety scenario): replay the packet
+  *unmodified* with transmission power tuned so only the intended candidate
+  forwarder(s) hear it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.attacks.base import RoadsideAttacker
+from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.radio.frames import Frame, FrameKind
+
+
+class IntraAreaBlocker(RoadsideAttacker):
+    """Replays each CBF packet once, with RHL rewritten to 1 by default."""
+
+    def __init__(
+        self,
+        *,
+        rewrite_rhl: bool = True,
+        replay_range: Optional[float] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.rewrite_rhl = rewrite_rhl
+        #: Transmission range for replays (defaults to the attack range);
+        #: the targeted variant sets this low to reach only chosen victims.
+        self.replay_range = replay_range
+        self.packets_replayed = 0
+        self._seen: Set[PacketId] = set()
+
+    def react(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.GEO_BROADCAST:
+            return
+        packet = frame.payload
+        if not isinstance(packet, GeoBroadcastPacket):
+            return
+        if frame.sender_addr == self.iface.address:
+            return
+        packet_id = packet.packet_id
+        if packet_id in self._seen:
+            return  # one replay per flood is what kills it
+        self._seen.add(packet_id)
+        if self.rewrite_rhl:
+            # RHL and the per-hop sender fields are outside the source
+            # signature, so this modified copy still authenticates.
+            replay = packet.next_hop_copy(
+                rhl=1,
+                sender_addr=packet.sender_addr,
+                sender_position=packet.sender_position,
+            )
+        else:
+            replay = packet
+        self.packets_replayed += 1
+        self.inject(FrameKind.GEO_BROADCAST, replay, tx_range=self.replay_range)

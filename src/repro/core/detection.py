@@ -1,0 +1,187 @@
+"""Misbehavior detection for the paper's attacks.
+
+The §V mitigations *prevent* damage; this module adds the monitoring
+counterpart, usable as an intrusion-detection layer or to study how visible
+the attacks are.  A :class:`MisbehaviorDetector` taps a node's radio
+interface (no protocol changes) and raises alerts for the three observable
+signatures the attacks leave:
+
+* ``replayed-beacon`` — the same signed beacon (same source, same PV
+  timestamp) heard more than once.  A vehicle inside both the advertiser's
+  and the attacker's coverage witnesses the replay directly.
+* ``implausible-position`` — a beacon advertising a position beyond the
+  maximum plausible one-hop range.  Victims outside the advertiser's true
+  coverage see this on every poisoning beacon.
+* ``rhl-anomaly`` — a duplicate GeoBroadcast whose RHL dropped implausibly
+  fast (the blockage attacker's RHL=1 rewrite).
+
+Attack-free traffic produces none of these (tested), so any alert is
+actionable.  The related work the paper cites ([22]) disseminates such
+detections to neighbors; here the alerts are local and feed callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.geonet.checks import duplicate_rhl_plausible, position_plausible
+from repro.geonet.node import GeoNode
+from repro.geonet.packets import BeaconBody, GeoBroadcastPacket
+from repro.radio.frames import Frame, FrameKind
+from repro.security.signing import SignedMessage, verify
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detection event."""
+
+    kind: str
+    time: float
+    observer_addr: int
+    subject_addr: int
+    detail: str
+
+
+@dataclass
+class DetectorStats:
+    """Aggregate alert counters per kind."""
+
+    replayed_beacons: int = 0
+    implausible_positions: int = 0
+    rhl_anomalies: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.replayed_beacons
+            + self.implausible_positions
+            + self.rhl_anomalies
+        )
+
+
+class MisbehaviorDetector:
+    """Passive per-node monitor; interposes on the radio handler."""
+
+    def __init__(
+        self,
+        node: GeoNode,
+        *,
+        plausible_range: float = 486.0,
+        rhl_drop_threshold: int = 3,
+        dedup_window: float = 2.0,
+    ):
+        if plausible_range <= 0:
+            raise ValueError("plausible_range must be positive")
+        self.node = node
+        self.plausible_range = plausible_range
+        self.rhl_drop_threshold = rhl_drop_threshold
+        self.dedup_window = dedup_window
+        self.alerts: List[Alert] = []
+        self.stats = DetectorStats()
+        self.on_alert: List[Callable[[Alert], None]] = []
+        #: (source addr, pv timestamp) -> first-heard time
+        self._beacons_heard: Dict[Tuple[int, float], float] = {}
+        #: packet id -> first-seen RHL
+        self._first_rhl: Dict[tuple, int] = {}
+        self._flagged_replays: Set[Tuple[int, float]] = set()
+        self._inner = node.iface.handler
+        node.iface.attach(self._observe)
+
+    # ------------------------------------------------------------------
+    def _raise(self, kind: str, subject_addr: int, detail: str) -> None:
+        alert = Alert(
+            kind=kind,
+            time=self.node.sim.now,
+            observer_addr=self.node.address,
+            subject_addr=subject_addr,
+            detail=detail,
+        )
+        self.alerts.append(alert)
+        if kind == "replayed-beacon":
+            self.stats.replayed_beacons += 1
+        elif kind == "implausible-position":
+            self.stats.implausible_positions += 1
+        else:
+            self.stats.rhl_anomalies += 1
+        for callback in self.on_alert:
+            callback(alert)
+
+    # ------------------------------------------------------------------
+    def _observe(self, frame: Frame) -> None:
+        try:
+            if frame.kind is FrameKind.BEACON:
+                self._inspect_beacon(frame)
+            elif frame.kind is FrameKind.GEO_BROADCAST:
+                self._inspect_broadcast(frame)
+        finally:
+            if self._inner is not None:
+                self._inner(frame)
+
+    def _inspect_beacon(self, frame: Frame) -> None:
+        message = frame.payload
+        if not isinstance(message, SignedMessage) or not verify(message):
+            return
+        body = message.body
+        if not isinstance(body, BeaconBody):
+            return
+        now = self.node.sim.now
+        key = (body.source_addr, body.pv.timestamp)
+        first_heard = self._beacons_heard.get(key)
+        if (
+            first_heard is not None
+            and now - first_heard <= self.dedup_window
+            and key not in self._flagged_replays
+        ):
+            self._flagged_replays.add(key)
+            self._raise(
+                "replayed-beacon",
+                body.source_addr,
+                f"beacon t={body.pv.timestamp:.3f} heard twice "
+                f"({now - first_heard:.4f}s apart)",
+            )
+        elif first_heard is None:
+            self._beacons_heard[key] = now
+            self._prune_beacons(now)
+        if not position_plausible(
+            self.node.position(), body.pv.position, self.plausible_range
+        ):
+            distance = self.node.position().distance_to(body.pv.position)
+            self._raise(
+                "implausible-position",
+                body.source_addr,
+                f"advertised {distance:.0f}m away "
+                f"(plausible <= {self.plausible_range:.0f}m)",
+            )
+
+    def _inspect_broadcast(self, frame: Frame) -> None:
+        packet = frame.payload
+        if not isinstance(packet, GeoBroadcastPacket):
+            return
+        first = self._first_rhl.get(packet.packet_id)
+        if first is None:
+            self._first_rhl[packet.packet_id] = packet.rhl
+            return
+        if not duplicate_rhl_plausible(
+            first, packet.rhl, self.rhl_drop_threshold
+        ):
+            self._raise(
+                "rhl-anomaly",
+                packet.sender_addr,
+                f"duplicate of {packet.packet_id} with RHL {first}->{packet.rhl}",
+            )
+
+    def _prune_beacons(self, now: float) -> None:
+        if len(self._beacons_heard) < 4096:
+            return
+        cutoff = now - self.dedup_window
+        self._beacons_heard = {
+            key: t for key, t in self._beacons_heard.items() if t >= cutoff
+        }
+
+
+def deploy_fleet_detectors(
+    nodes, **kwargs
+) -> List[MisbehaviorDetector]:
+    """Attach a detector to every node; returns them for inspection."""
+    return [MisbehaviorDetector(node, **kwargs) for node in nodes]

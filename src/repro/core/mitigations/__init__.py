@@ -1,0 +1,32 @@
+"""Standard-compatible mitigations (paper §V).
+
+Both defences are implemented inside the GeoNetworking stack (see
+:mod:`repro.geonet.checks`) and switched on through
+:class:`~repro.geonet.config.GeoNetConfig`; this package re-exports the
+predicates and provides convenience enablers so applications can adopt them
+without touching stack internals.
+
+* **GF plausibility check** — before forwarding, the GF forwarder skips any
+  candidate whose advertised position is farther than a threshold (default:
+  the NLoS-median range).  Checking at *forwarding time* rather than on
+  every beacon keeps the overhead proportional to data packets, not beacons.
+* **CBF RHL-drop check** — a contending node only accepts a duplicate whose
+  RHL is within a small drop (default 3) of the first-received copy; the
+  attacker's RHL=1 rewrite shows a steep drop and is ignored.
+"""
+
+from repro.core.mitigations.plausibility import (
+    enable_plausibility_check,
+    position_plausible,
+)
+from repro.core.mitigations.rhl_check import (
+    duplicate_rhl_plausible,
+    enable_rhl_check,
+)
+
+__all__ = [
+    "duplicate_rhl_plausible",
+    "enable_plausibility_check",
+    "enable_rhl_check",
+    "position_plausible",
+]

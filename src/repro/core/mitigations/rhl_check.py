@@ -1,0 +1,31 @@
+"""The CBF RHL-drop check (paper §V-B).
+
+Signing the RHL field would require changing the CBF packet structure and
+break standard compatibility, so the paper instead has contending nodes
+sanity-check duplicates: the source emits packets with a large RHL (e.g. 10),
+a legitimate peer's re-broadcast arrives with RHL one below the first copy,
+while the attacker must rewrite RHL to 1 — a steep, detectable drop.
+"""
+
+from __future__ import annotations
+
+from repro.geonet.checks import duplicate_rhl_plausible
+from repro.geonet.config import GeoNetConfig
+
+__all__ = ["duplicate_rhl_plausible", "enable_rhl_check"]
+
+
+def enable_rhl_check(
+    config: GeoNetConfig, threshold: int | None = None
+) -> GeoNetConfig:
+    """A config copy with the CBF RHL-drop check switched on.
+
+    ``threshold`` is the maximum acceptable RHL drop for a duplicate
+    (the paper uses 3).
+    """
+    from dataclasses import replace
+
+    updates = {"rhl_check": True}
+    if threshold is not None:
+        updates["rhl_drop_threshold"] = threshold
+    return replace(config, **updates)

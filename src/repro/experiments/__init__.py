@@ -1,0 +1,49 @@
+"""Experiment harness: world building, A/B running, metrics, figure drivers.
+
+The paper's methodology (§IV): every setting is simulated with A/B testing —
+A is the attacker-free scenario, B the attacked one, with identical seeds so
+the traffic and the workload are the same packet-for-packet.  Reception
+rates are computed per 5 s time bin over 200 s; the interception rate γ
+(inter-area) and blockage rate λ (intra-area) are the average attack-free →
+attacked drop across the bins, averaged over runs.
+
+One driver module per paper artefact lives in
+:mod:`repro.experiments.figures`.
+"""
+
+from repro.experiments.config import (
+    AttackConfig,
+    AttackKind,
+    ExperimentConfig,
+    RoadConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.experiments.metrics import (
+    BinnedRates,
+    PacketOutcome,
+    RunMetrics,
+    cumulative_drop_rates,
+    mean_drop_rate,
+)
+from repro.experiments.runner import AbResult, RunResult, run_ab, run_single
+from repro.experiments.world import World
+
+__all__ = [
+    "AbResult",
+    "AttackConfig",
+    "AttackKind",
+    "BinnedRates",
+    "ExperimentConfig",
+    "PacketOutcome",
+    "RoadConfig",
+    "RunMetrics",
+    "RunResult",
+    "WorkloadConfig",
+    "WorkloadKind",
+    "World",
+    "cumulative_drop_rates",
+    "mean_drop_rate",
+    "run_ab",
+    "run_single",
+]

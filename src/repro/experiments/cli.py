@@ -1,0 +1,146 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments fig7a --runs 3 --duration 100 --processes 8
+    repro-experiments fig12b
+    repro-experiments all --runs 2 --duration 60 --processes 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    tables,
+)
+
+_STANDARD_KW = ("runs", "duration", "processes", "seed")
+
+
+def _emit(text: str) -> None:
+    print(text)
+    print()
+
+
+def _run_target(name: str, args: argparse.Namespace) -> None:
+    kw = dict(
+        runs=args.runs,
+        duration=args.duration,
+        processes=args.processes,
+        seed=args.seed,
+    )
+    started = time.time()
+    if name == "table1":
+        _emit(tables.table1())
+    elif name == "table2":
+        _emit(tables.table2())
+    elif name in ("fig7a", "fig7b", "fig7c", "fig7d", "fig7e"):
+        _emit(getattr(fig7, name)(**kw).format())
+    elif name == "fig7":
+        for panel, result in fig7.figure7(**kw).items():
+            _emit(result.format())
+    elif name == "fig8":
+        _emit(fig8.figure8(**kw).format())
+    elif name in ("fig9a", "fig9b", "fig9c", "fig9d", "fig9e"):
+        _emit(getattr(fig9, name)(**kw).format())
+    elif name == "fig9":
+        for panel, result in fig9.figure9(**kw).items():
+            _emit(result.format())
+    elif name == "fig9-tuning":
+        _emit(fig9.attack_range_tuning(**kw).format())
+    elif name == "fig9-source-location":
+        _emit(fig9.source_location_study(**kw).format())
+    elif name == "fig10":
+        _emit(fig10.figure10(**kw).format())
+    elif name == "fig12a":
+        _emit(fig12.fig12a(duration=args.duration, seed=args.seed).format())
+    elif name == "fig12b":
+        _emit(fig12.fig12b(duration=args.duration, seed=args.seed).format())
+    elif name == "fig13":
+        _emit(fig13.fig13(seed=args.seed).format())
+    elif name == "fig14a":
+        _emit(fig14.fig14a(**kw).format())
+    elif name == "fig14b":
+        _emit(fig14.fig14b(**kw).format())
+    elif name == "overhead":
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.overhead import format_analysis
+        from repro.experiments.world import World
+
+        config = ExperimentConfig.inter_area_default(
+            duration=args.duration, seed=args.seed
+        )
+        world = World(config, attacked=False, seed=args.seed)
+        world.run()
+        _emit(format_analysis(world.channel.stats, duration=args.duration))
+    else:
+        raise SystemExit(f"unknown target {name!r}")
+    print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
+
+
+ALL_TARGETS = [
+    "table1",
+    "table2",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig7e",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig9e",
+    "fig9-tuning",
+    "fig9-source-location",
+    "fig10",
+    "fig12a",
+    "fig12b",
+    "fig13",
+    "fig14a",
+    "fig14b",
+    "overhead",
+]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures of the DSN'23 GeoNetworking "
+        "attack paper.",
+    )
+    parser.add_argument(
+        "target",
+        choices=ALL_TARGETS + ["all"],
+        help="which artefact to regenerate ('all' runs every one)",
+    )
+    parser.add_argument("--runs", type=int, default=3, help="A/B runs per setting")
+    parser.add_argument(
+        "--duration", type=float, default=200.0, help="simulated seconds per run"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=1, help="worker processes for runs"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base random seed")
+    args = parser.parse_args(argv)
+    targets = ALL_TARGETS if args.target == "all" else [args.target]
+    for name in targets:
+        _run_target(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

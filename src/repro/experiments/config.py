@@ -1,0 +1,223 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` fully determines one simulated scenario (modulo
+the seed): road and traffic, radio technology, GeoNetworking parameters,
+workload, and the attacker.  The factory methods build the paper's default
+settings: a single-direction two-lane 4 000 m road, 30 m inter-vehicle
+space, DSRC NLoS-median vehicle ranges, 20 s LocTE TTL, a packet per second,
+and an attacker at the middle of the road.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.geonet.config import GeoNetConfig
+from repro.radio.technology import CV2X, DSRC, RadioTechnology, RangeClass
+
+
+class AttackKind(enum.Enum):
+    """Which proof-of-concept attack the B-run deploys."""
+
+    NONE = "none"
+    INTER_AREA = "inter-area"
+    INTRA_AREA = "intra-area"
+
+
+class WorkloadKind(enum.Enum):
+    """What traffic the application layer generates."""
+
+    #: One vulnerable GF packet per interval toward a road-end destination.
+    INTER_AREA = "inter-area"
+    #: One CBF flood per interval over the whole road segment.
+    INTRA_AREA = "intra-area"
+
+
+@dataclass(frozen=True)
+class RoadConfig:
+    """Road geometry and traffic density."""
+
+    length: float = 4000.0
+    lanes_per_direction: int = 2
+    lane_width: float = 5.0
+    directions: int = 1
+    inter_vehicle_space: float = 30.0
+    prepopulate: bool = True
+    spawn: bool = True
+    entry_speed: float = 30.0
+
+    def __post_init__(self):
+        if self.inter_vehicle_space <= 0:
+            raise ValueError("inter_vehicle_space must be positive")
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Where the attacker sits and how it behaves."""
+
+    kind: AttackKind = AttackKind.NONE
+    attack_range: float = 486.0
+    #: Attacker x; None means the middle of the road (the paper's Fig 6).
+    x: Optional[float] = None
+    #: Lateral offset from the road edge (roadside deployment).
+    y_offset: float = -10.0
+    reaction_delay: float = 0.0005
+    #: Intra-area mode: rewrite RHL to 1 (Spot 1) vs targeted replay (Spot 2).
+    rewrite_rhl: bool = True
+    replay_range: Optional[float] = None
+
+    def __post_init__(self):
+        if self.attack_range <= 0:
+            raise ValueError("attack_range must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Application packet generation."""
+
+    kind: WorkloadKind = WorkloadKind.INTER_AREA
+    packet_interval: float = 1.0
+    #: Inter-area destinations sit this far beyond each road end.
+    dest_offset: float = 20.0
+    dest_radius: float = 15.0
+    payload: str = "hazard-warning"
+    #: Optional restriction of packet sources to an x-interval (used by the
+    #: §IV-A source-location study to sample the tiny fully covered area).
+    source_xmin: Optional[float] = None
+    source_xmax: Optional[float] = None
+
+    def __post_init__(self):
+        if self.packet_interval <= 0:
+            raise ValueError("packet_interval must be positive")
+        if (
+            self.source_xmin is not None
+            and self.source_xmax is not None
+            and self.source_xmax < self.source_xmin
+        ):
+            raise ValueError("source_xmax must be >= source_xmin")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully-specified scenario."""
+
+    technology: RadioTechnology = DSRC
+    road: RoadConfig = field(default_factory=RoadConfig)
+    geonet: GeoNetConfig = field(default_factory=GeoNetConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    attack: AttackConfig = field(default_factory=AttackConfig)
+    duration: float = 200.0
+    bin_width: float = 5.0
+    mobility_dt: float = 0.1
+    #: Independent per-receiver frame-loss probability (0 = ideal channel,
+    #: the paper's setting); used by robustness ablations.
+    channel_loss_rate: float = 0.0
+    seed: int = 1
+    label: str = ""
+
+    def __post_init__(self):
+        if self.duration <= 0 or self.bin_width <= 0:
+            raise ValueError("duration and bin_width must be positive")
+        if not 0.0 <= self.channel_loss_rate < 1.0:
+            raise ValueError("channel_loss_rate must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # derived values
+    # ------------------------------------------------------------------
+    @property
+    def vehicle_range(self) -> float:
+        """Vehicle-to-vehicle range: the technology's NLoS-median (paper §IV)."""
+        return self.technology.vehicle_range_m
+
+    @property
+    def attacker_x(self) -> float:
+        """Attacker position along the road (middle by default)."""
+        return self.road.length / 2 if self.attack.x is None else self.attack.x
+
+    @property
+    def n_bins(self) -> int:
+        """Number of reporting time bins."""
+        return int(math.ceil(self.duration / self.bin_width))
+
+    def attack_range_for(self, range_class: RangeClass) -> float:
+        """The attack range for a Table II range class of this technology."""
+        return self.technology.range_for(range_class)
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def inter_area_default(
+        *,
+        technology: RadioTechnology = DSRC,
+        attack_range: Optional[float] = None,
+        duration: float = 200.0,
+        seed: int = 1,
+        **overrides,
+    ) -> "ExperimentConfig":
+        """The paper's default inter-area effectiveness setting (§IV-A).
+
+        The GF hop budget is sized so a packet can traverse the whole road
+        (the paper's RHL=10 example is for intra-area floods).
+        """
+        hops_needed = math.ceil(4100.0 / technology.vehicle_range_m) + 6
+        geonet = GeoNetConfig(
+            dist_max=technology.max_range_m,
+            plausibility_threshold=technology.vehicle_range_m,
+            default_rhl=max(10, hops_needed),
+        )
+        config = ExperimentConfig(
+            technology=technology,
+            geonet=geonet,
+            workload=WorkloadConfig(kind=WorkloadKind.INTER_AREA),
+            attack=AttackConfig(
+                kind=AttackKind.INTER_AREA,
+                attack_range=(
+                    technology.nlos_worst_m if attack_range is None else attack_range
+                ),
+            ),
+            duration=duration,
+            seed=seed,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @staticmethod
+    def intra_area_default(
+        *,
+        technology: RadioTechnology = DSRC,
+        attack_range: Optional[float] = None,
+        duration: float = 200.0,
+        seed: int = 1,
+        **overrides,
+    ) -> "ExperimentConfig":
+        """The paper's default intra-area effectiveness setting (§IV-A)."""
+        geonet = GeoNetConfig(
+            dist_max=technology.max_range_m,
+            plausibility_threshold=technology.vehicle_range_m,
+            default_rhl=10,
+        )
+        config = ExperimentConfig(
+            technology=technology,
+            geonet=geonet,
+            workload=WorkloadConfig(kind=WorkloadKind.INTRA_AREA),
+            attack=AttackConfig(
+                kind=AttackKind.INTRA_AREA,
+                attack_range=(
+                    technology.nlos_median_m if attack_range is None else attack_range
+                ),
+            ),
+            duration=duration,
+            seed=seed,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """A copy with top-level fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Named technologies for CLI parsing.
+TECHNOLOGY_BY_NAME = {"DSRC": DSRC, "C-V2X": CV2X, "CV2X": CV2X}

@@ -1,0 +1,20 @@
+"""One driver module per paper artefact (tables, figures, text studies).
+
+Every driver takes ``runs`` / ``duration`` / ``processes`` knobs so the same
+code scales from a quick laptop check to the paper's full 100-run, 200 s
+configuration, and returns a structured result whose ``format()`` output
+matches the rows/series the paper reports.
+"""
+
+from repro.experiments.figures import (  # noqa: F401
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    tables,
+)
+
+__all__ = ["fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "tables"]

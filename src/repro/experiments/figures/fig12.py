@@ -1,0 +1,22 @@
+"""Fig 12 — vehicles on road over time under the hazard scenario.
+
+Thin figure-facing wrappers around :mod:`repro.experiments.impact`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.impact import ImpactComparison, compare_impact
+
+
+def fig12a(
+    *, duration: float = 200.0, seed: int = 1, spawn_gap: float = 55.0
+) -> ImpactComparison:
+    """Case 1: GF hazard notification vs the inter-area interception attack."""
+    return compare_impact("1", duration=duration, seed=seed, spawn_gap=spawn_gap)
+
+
+def fig12b(
+    *, duration: float = 200.0, seed: int = 1, spawn_gap: float = 55.0
+) -> ImpactComparison:
+    """Case 2: CBF hazard notification vs the intra-area blockage attack."""
+    return compare_impact("2", duration=duration, seed=seed, spawn_gap=spawn_gap)

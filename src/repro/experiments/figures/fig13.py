@@ -1,0 +1,13 @@
+"""Fig 13 — speed profiles in the road-safety curve scenario.
+
+Thin figure-facing wrapper around :mod:`repro.experiments.safety`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.safety import SafetyComparison, compare_safety
+
+
+def fig13(*, seed: int = 1, duration: float = 40.0) -> SafetyComparison:
+    """The paired curve-scenario runs (13a: V1 profile, 13b: V2 profile)."""
+    return compare_safety(seed=seed, duration=duration)

@@ -1,0 +1,156 @@
+"""Metrics: per-bin reception rates, interception rate γ, blockage rate λ.
+
+Definitions follow §IV of the paper:
+
+* inter-area — per-bin *packet reception rate* = vulnerable packets received
+  at a destination / vulnerable packets transmitted, attributed to the bin
+  of the **send** time;
+* intra-area — each packet's reception ratio = vehicles that received it /
+  vehicles on road at send time; a bin's rate averages the packets sent in
+  that bin;
+* γ and λ — the average drop of the reception rate from the attack-free run
+  to the attacked run over the time bins.  The paper's headline numbers are
+  relative drops (an mL attacker "intercepts 99.9 % of vulnerable packets"),
+  so :func:`mean_drop_rate` reports the drop relative to the attack-free
+  rate; the absolute percentage-point drop is also available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class PacketOutcome:
+    """What happened to one application packet."""
+
+    packet_id: tuple
+    send_time: float
+    source_x: float
+    direction: int
+    #: inter-area: 1.0 if a destination received it, else 0.0;
+    #: intra-area: the fraction of on-road vehicles that received it.
+    success: float = 0.0
+    #: intra-area bookkeeping
+    receivers: int = 0
+    denominator: int = 1
+    in_fully_covered_area: bool = False
+    delivery_latency: Optional[float] = None
+
+
+@dataclass
+class BinnedRates:
+    """Reception rates per time bin; None for bins with no packets."""
+
+    bin_width: float
+    rates: List[Optional[float]]
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.rates)
+
+    def overall(self) -> Optional[float]:
+        """Mean over non-empty bins."""
+        values = [r for r in self.rates if r is not None]
+        return sum(values) / len(values) if values else None
+
+
+@dataclass
+class RunMetrics:
+    """All packet outcomes of a single run."""
+
+    duration: float
+    bin_width: float
+    outcomes: List[PacketOutcome] = field(default_factory=list)
+
+    def record(self, outcome: PacketOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    @property
+    def n_bins(self) -> int:
+        return int(math.ceil(self.duration / self.bin_width))
+
+    def binned_rates(self) -> BinnedRates:
+        """Average packet success per send-time bin."""
+        sums = [0.0] * self.n_bins
+        counts = [0] * self.n_bins
+        for outcome in self.outcomes:
+            idx = min(int(outcome.send_time // self.bin_width), self.n_bins - 1)
+            sums[idx] += outcome.success
+            counts[idx] += 1
+        rates: List[Optional[float]] = [
+            (sums[i] / counts[i]) if counts[i] else None for i in range(self.n_bins)
+        ]
+        return BinnedRates(bin_width=self.bin_width, rates=rates)
+
+    def overall_rate(self) -> float:
+        """Success averaged over every packet of the run."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.success for o in self.outcomes) / len(self.outcomes)
+
+
+def mean_bin_rates(
+    runs: Sequence[BinnedRates],
+) -> List[Optional[float]]:
+    """Average each bin across runs, skipping empty bins."""
+    if not runs:
+        return []
+    n_bins = max(r.n_bins for r in runs)
+    means: List[Optional[float]] = []
+    for i in range(n_bins):
+        values = [
+            r.rates[i] for r in runs if i < r.n_bins and r.rates[i] is not None
+        ]
+        means.append(sum(values) / len(values) if values else None)
+    return means
+
+
+def mean_drop_rate(
+    af_rates: Sequence[Optional[float]],
+    atk_rates: Sequence[Optional[float]],
+    *,
+    relative: bool = True,
+) -> Optional[float]:
+    """γ / λ: average per-bin reception drop from attack-free to attacked.
+
+    ``relative=True`` divides each bin's drop by the attack-free rate (how
+    the paper quotes "intercepts 99.9 % of vulnerable packets");
+    ``relative=False`` gives the absolute percentage-point drop.
+    """
+    drops = []
+    for af, atk in zip(af_rates, atk_rates):
+        if af is None or atk is None:
+            continue
+        if relative:
+            if af <= 0:
+                continue
+            drops.append((af - atk) / af)
+        else:
+            drops.append(af - atk)
+    if not drops:
+        return None
+    return sum(drops) / len(drops)
+
+
+def cumulative_drop_rates(
+    af_rates: Sequence[Optional[float]],
+    atk_rates: Sequence[Optional[float]],
+    *,
+    relative: bool = True,
+) -> List[Optional[float]]:
+    """Accumulated γ/λ over time (Figs 8 and 10): drop averaged over bins
+    0..k for each k."""
+    result: List[Optional[float]] = []
+    drops: List[float] = []
+    for af, atk in zip(af_rates, atk_rates):
+        if af is not None and atk is not None:
+            if relative:
+                if af > 0:
+                    drops.append((af - atk) / af)
+            else:
+                drops.append(af - atk)
+        result.append(sum(drops) / len(drops) if drops else None)
+    return result

@@ -1,0 +1,102 @@
+"""Text reporting: paper-style tables and series for every figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import AbResult
+
+
+def fmt_pct(value: Optional[float]) -> str:
+    """Format a ratio as a percentage, n/a-safe."""
+    return f"{value:6.1%}" if value is not None else "   n/a"
+
+
+@dataclass
+class FigureSeries:
+    """One line of a figure: a labelled A/B comparison."""
+
+    label: str
+    result: AbResult
+
+    @property
+    def drop(self) -> Optional[float]:
+        return self.result.drop_rate()
+
+    @property
+    def drop_abs(self) -> Optional[float]:
+        return self.result.drop_rate(relative=False)
+
+    def row(self) -> str:
+        r = self.result
+        return (
+            f"  {self.label:<22} af={fmt_pct(r.af_overall)}  "
+            f"atk={fmt_pct(r.atk_overall)}  drop={fmt_pct(self.drop)} "
+            f"(abs {fmt_pct(self.drop_abs)})"
+        )
+
+
+@dataclass
+class FigureResult:
+    """All series of one paper figure, plus context."""
+
+    figure_id: str
+    title: str
+    series: List[FigureSeries] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, result: AbResult) -> FigureSeries:
+        entry = FigureSeries(label=label, result=result)
+        self.series.append(entry)
+        return entry
+
+    def get(self, label: str) -> FigureSeries:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no series labelled {label!r} in {self.figure_id}")
+
+    def format(self) -> str:
+        lines = [f"{self.figure_id}: {self.title}"]
+        lines.extend(entry.row() for entry in self.series)
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def sketch(self) -> str:
+        """Sparkline rendering of every series' af/atk reception over time."""
+        from repro.analysis.textplot import series_table
+
+        rows = []
+        bin_width = 5.0
+        for entry in self.series:
+            bin_width = entry.result.config.bin_width
+            rows.append((f"{entry.label} af ", entry.result.af_bin_rates))
+            rows.append((f"{entry.label} atk", entry.result.atk_bin_rates))
+        return f"{self.figure_id}: {self.title}\n" + series_table(
+            rows, bin_width=bin_width
+        )
+
+    def bin_table(self) -> str:
+        """The per-bin reception-rate series (the actual figure lines)."""
+        lines = [f"{self.figure_id} per-bin reception rates"]
+        for entry in self.series:
+            af = entry.result.af_bin_rates
+            atk = entry.result.atk_bin_rates
+            af_txt = " ".join("  ---" if v is None else f"{v:5.2f}" for v in af)
+            atk_txt = " ".join("  ---" if v is None else f"{v:5.2f}" for v in atk)
+            lines.append(f"  {entry.label} [af ]: {af_txt}")
+            lines.append(f"  {entry.label} [atk]: {atk_txt}")
+        return "\n".join(lines)
+
+
+def cumulative_table(
+    figure_id: str, series: Sequence[FigureSeries], *, bin_width: float
+) -> str:
+    """Fig 8 / Fig 10 style: accumulated drop rate over time per scenario."""
+    lines = [f"{figure_id}: accumulated drop rate over time (bin={bin_width:.0f}s)"]
+    for entry in series:
+        drops = entry.result.cumulative_drops()
+        txt = " ".join("  ---" if v is None else f"{v:5.2f}" for v in drops)
+        lines.append(f"  {entry.label:<22} {txt}")
+    return "\n".join(lines)

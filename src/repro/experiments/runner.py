@@ -1,0 +1,171 @@
+"""The A/B experiment runner.
+
+Each *setting* is simulated as seed-paired attack-free (A) and attacked (B)
+runs; γ/λ are computed from the mean per-bin reception rates exactly as the
+paper defines (§IV-A).  ``processes > 1`` fans runs out over a
+multiprocessing pool — every run is an isolated World, so this is safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import AttackKind, ExperimentConfig
+from repro.experiments.metrics import (
+    BinnedRates,
+    PacketOutcome,
+    cumulative_drop_rates,
+    mean_bin_rates,
+    mean_drop_rate,
+)
+from repro.experiments.world import World
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    seed: int
+    attacked: bool
+    binned: BinnedRates
+    overall_rate: float
+    n_packets: int
+    outcomes: List[PacketOutcome]
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def run_single(
+    config: ExperimentConfig, *, attacked: bool, seed: Optional[int] = None
+) -> RunResult:
+    """Build a world, run it, and summarise."""
+    world = World(config, attacked=attacked, seed=seed)
+    metrics = world.run()
+    extras: Dict[str, float] = {
+        "frames_sent": float(world.channel.stats.frames_sent),
+        "frames_delivered": float(world.channel.stats.frames_delivered),
+        "unicast_lost": float(world.channel.stats.unicast_lost),
+        "vehicles_final": float(world.traffic.count_on_road()),
+    }
+    if world.attacker is not None:
+        extras["replays_sent"] = float(world.attacker.stats.replays_sent)
+        extras["frames_sniffed"] = float(world.attacker.stats.frames_sniffed)
+    return RunResult(
+        seed=world.seed,
+        attacked=attacked,
+        binned=metrics.binned_rates(),
+        overall_rate=metrics.overall_rate(),
+        n_packets=len(metrics.outcomes),
+        outcomes=list(metrics.outcomes),
+        extras=extras,
+    )
+
+
+def _run_worker(args) -> RunResult:
+    config, attacked, seed = args
+    return run_single(config, attacked=attacked, seed=seed)
+
+
+@dataclass
+class AbResult:
+    """Aggregated A/B comparison for one setting."""
+
+    config: ExperimentConfig
+    af_runs: List[RunResult]
+    atk_runs: List[RunResult]
+
+    # ------------------------------------------------------------------
+    # aggregated series
+    # ------------------------------------------------------------------
+    @property
+    def af_bin_rates(self) -> List[Optional[float]]:
+        """Attack-free mean reception rate per time bin."""
+        return mean_bin_rates([r.binned for r in self.af_runs])
+
+    @property
+    def atk_bin_rates(self) -> List[Optional[float]]:
+        """Attacked mean reception rate per time bin."""
+        return mean_bin_rates([r.binned for r in self.atk_runs])
+
+    @property
+    def af_overall(self) -> float:
+        """Attack-free reception rate over all packets of all runs."""
+        return _overall(self.af_runs)
+
+    @property
+    def atk_overall(self) -> float:
+        """Attacked reception rate over all packets of all runs."""
+        return _overall(self.atk_runs)
+
+    def drop_rate(self, *, relative: bool = True) -> Optional[float]:
+        """γ (inter-area) / λ (intra-area) for this setting."""
+        return mean_drop_rate(
+            self.af_bin_rates, self.atk_bin_rates, relative=relative
+        )
+
+    def drop_confidence_interval(self) -> Optional[tuple]:
+        """(mean, low, high) 95 % interval of the per-run paired reception
+        drop — requires >= 2 seed-paired runs."""
+        if len(self.af_runs) < 2 or len(self.af_runs) != len(self.atk_runs):
+            return None
+        from repro.analysis.stats import paired_difference_interval
+
+        return paired_difference_interval(
+            [r.overall_rate for r in self.af_runs],
+            [r.overall_rate for r in self.atk_runs],
+        )
+
+    def cumulative_drops(self, *, relative: bool = True) -> List[Optional[float]]:
+        """Accumulated drop rate over time (Fig 8 / Fig 10 series)."""
+        return cumulative_drop_rates(
+            self.af_bin_rates, self.atk_bin_rates, relative=relative
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        gamma = self.drop_rate()
+        gamma_txt = f"{gamma:6.1%}" if gamma is not None else "   n/a"
+        return (
+            f"{self.config.label or self.config.attack.kind.value:<28} "
+            f"af={self.af_overall:6.1%}  atk={self.atk_overall:6.1%}  "
+            f"drop={gamma_txt}  runs={len(self.af_runs)}"
+        )
+
+
+def _overall(runs: Sequence[RunResult]) -> float:
+    total = sum(r.n_packets for r in runs)
+    if total == 0:
+        return 0.0
+    return sum(r.overall_rate * r.n_packets for r in runs) / total
+
+
+def run_ab(
+    config: ExperimentConfig,
+    *,
+    runs: int = 3,
+    base_seed: Optional[int] = None,
+    processes: int = 1,
+) -> AbResult:
+    """Run seed-paired A/B simulations for one setting.
+
+    The attack-free twin of each attacked run uses the same seed, so the
+    traffic and the workload are identical packet-for-packet.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    base = config.seed if base_seed is None else base_seed
+    jobs = []
+    for k in range(runs):
+        seed = base + k
+        jobs.append((config, False, seed))
+        if config.attack.kind is not AttackKind.NONE:
+            jobs.append((config, True, seed))
+    if processes > 1 and len(jobs) > 1:
+        with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
+            results = pool.map(_run_worker, jobs)
+    else:
+        results = [_run_worker(job) for job in jobs]
+    af_runs = [r for r in results if not r.attacked]
+    atk_runs = [r for r in results if r.attacked]
+    return AbResult(config=config, af_runs=af_runs, atk_runs=atk_runs)

@@ -1,0 +1,295 @@
+"""Road-safety impact study (paper §IV-B, Fig 11b / Fig 13).
+
+Two vehicles approach a blind curve from opposite directions.  The terrain
+blocks radio (and sight) between the two approaches, so a roadside unit at
+the outer edge of the curve relays CBF messages.  V1 detects a hazard in its
+lane, brakes hard, swerves into the opposite lane and broadcasts a lane-
+change warning:
+
+* attack-free — the RSU relays the warning; V2 slows to a crawl and the
+  vehicles never meet in the same lane;
+* attacked — a blocker beside the RSU replays the warning with transmission
+  power tuned so *only the RSU* hears it (the Spot-2 variant, RHL
+  unmodified).  The RSU treats it as another forwarder's duplicate and
+  cancels its relay; V2 arrives unwarned, both drivers only see each other
+  at sight distance around the bend, and the emergency braking (after a
+  human reaction delay) is too late.
+
+The module records the speed profiles the paper plots in Fig 13 and whether
+a collision occurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.attacks import IntraAreaBlocker
+from repro.geo.areas import RectangularArea
+from repro.geo.position import Position
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.node import GeoNode, StaticMobility, VehicleMobility
+from repro.radio.channel import BroadcastChannel
+from repro.radio.technology import DSRC
+from repro.security.ca import CertificateAuthority
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.traffic.idm import IdmParameters
+from repro.traffic.road import Direction, RoadSegment
+from repro.traffic.simulation import TrafficSimulation
+from repro.traffic.vehicle import Vehicle
+
+APEX_X = 600.0
+HAZARD_ZONE = (500.0, 545.0)
+DETECT_X = 450.0
+SIGHT_DISTANCE = 15.0
+REACTION_DELAY = 0.8
+WARNING_PAYLOAD = "lane-change-warning"
+
+V1_START_X = 300.0
+V1_SPEED = 27.0
+V2_START_X = 700.0
+V2_SPEED = 14.0
+
+APPROACH_DECEL = -2.0
+WARNED_DECEL = -4.0
+HAZARD_DECEL = -4.0
+EMERGENCY_DECEL = -8.0
+CRAWL_SPEED = 2.0
+PASS_SPEED = 8.0
+
+
+@dataclass
+class SafetyRun:
+    """Speed profiles and events of one curve-scenario run."""
+
+    attacked: bool
+    times: List[float] = field(default_factory=list)
+    v1_speeds: List[float] = field(default_factory=list)
+    v2_speeds: List[float] = field(default_factory=list)
+    v1_positions: List[float] = field(default_factory=list)
+    v2_positions: List[float] = field(default_factory=list)
+    warning_sent_at: Optional[float] = None
+    v2_warned_at: Optional[float] = None
+    collision_at: Optional[float] = None
+    min_gap: float = float("inf")
+
+    @property
+    def collided(self) -> bool:
+        return self.collision_at is not None
+
+    def format(self) -> str:
+        warned = (
+            f"V2 warned at t={self.v2_warned_at:.2f}s"
+            if self.v2_warned_at is not None
+            else "V2 never warned"
+        )
+        outcome = (
+            f"COLLISION at t={self.collision_at:.2f}s"
+            if self.collided
+            else f"no collision (min gap {self.min_gap:.1f} m)"
+        )
+        return f"{'attacked' if self.attacked else 'attack-free'}: {warned}; {outcome}"
+
+
+class _CurveScenario:
+    """The scripted controller for V1, V2 and the RSU."""
+
+    def __init__(self, *, attacked: bool, seed: int):
+        self.run = SafetyRun(attacked=attacked)
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.channel = BroadcastChannel(self.sim, self.streams)
+        self.ca = CertificateAuthority()
+        self.road = RoadSegment(
+            length=1200.0, lanes_per_direction=1, lane_width=5.0, directions=2
+        )
+        self.traffic = TrafficSimulation(self.road, IdmParameters(), dt=0.1)
+        self.traffic.on_step.append(self._control)
+        self.traffic.on_step.append(
+            lambda _now: self.channel.invalidate_positions()
+        )
+        # The terrain blocks links between the two approaches; anything
+        # mounted high (RSU at y=30, attacker mast at y=31) is exempt, and
+        # vehicles close to one another around the bend can still hear
+        # (and see) each other.
+        self.channel.add_obstruction(self._terrain_blocks)
+
+        east_lane = self.road.eastbound_lanes[0]
+        west_lane = self.road.westbound_lanes[0]
+        self.v1 = Vehicle(lane=east_lane, x=V1_START_X, speed=V1_SPEED)
+        self.v2 = Vehicle(lane=west_lane, x=V2_START_X, speed=V2_SPEED)
+        self.v1.forced_acceleration = APPROACH_DECEL
+        self.v2.forced_acceleration = APPROACH_DECEL
+        self.traffic.add_vehicle(self.v1)
+        self.traffic.add_vehicle(self.v2)
+
+        config = GeoNetConfig(dist_max=DSRC.max_range_m)
+        self.area = RectangularArea(0.0, 1200.0, 0.0, 40.0)
+        self.n1 = self._make_node("v1", VehicleMobility(self.v1), config)
+        self.n2 = self._make_node("v2", VehicleMobility(self.v2), config)
+        self.rsu = self._make_node(
+            "rsu", StaticMobility(Position(APEX_X, 30.0)), config
+        )
+        self.n2.router.on_deliver.append(self._v2_deliver)
+
+        self.attacker: Optional[IntraAreaBlocker] = None
+        if attacked:
+            self.attacker = IntraAreaBlocker(
+                sim=self.sim,
+                channel=self.channel,
+                streams=self.streams,
+                position=Position(APEX_X, 31.0),
+                attack_range=300.0,
+                rewrite_rhl=False,  # the Spot-2 targeted variant
+                replay_range=5.0,  # reaches only the RSU one metre away
+            )
+
+        # scripted state
+        self._v1_detected = False
+        self._v1_in_opposite_lane = False
+        self._v1_cleared = False
+        self._v2_warned = False
+        self._v2_emergency_at: Optional[float] = None
+        self._v1_emergency_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _make_node(self, name: str, mobility, config: GeoNetConfig) -> GeoNode:
+        return GeoNode(
+            sim=self.sim,
+            channel=self.channel,
+            config=config,
+            credentials=self.ca.enroll(name),
+            mobility=mobility,
+            tx_range=DSRC.vehicle_range_m,
+            rng=self.streams.get(f"beacon:{name}"),
+            name=name,
+        )
+
+    @staticmethod
+    def _terrain_blocks(a: Position, b: Position) -> bool:
+        if a.y >= 15.0 or b.y >= 15.0:
+            return False  # elevated roadside equipment has line of sight
+        opposite_sides = (a.x - APEX_X) * (b.x - APEX_X) < 0
+        return opposite_sides and abs(a.x - b.x) > 40.0
+
+    # ------------------------------------------------------------------
+    def _v2_deliver(self, node: GeoNode, packet) -> None:
+        if packet.body.payload == WARNING_PAYLOAD and not self._v2_warned:
+            self._v2_warned = True
+            self.run.v2_warned_at = self.sim.now
+
+    # ------------------------------------------------------------------
+    def _control(self, now: float) -> None:
+        self._control_v1(now)
+        self._control_v2(now)
+        gap = abs(self.v1.x - self.v2.x)
+        if self._v1_in_opposite_lane:
+            # Only the window where both vehicles share a lane is
+            # collision-relevant; passing in separate lanes is normal.
+            self.run.min_gap = min(self.run.min_gap, gap)
+        if (
+            self._v1_in_opposite_lane
+            and not self.run.collided
+            and gap <= (self.v1.length + self.v2.length) / 2
+        ):
+            self.run.collision_at = now
+            for vehicle in (self.v1, self.v2):
+                vehicle.speed = 0.0
+                vehicle.forced_acceleration = 0.0
+        self.run.times.append(now)
+        self.run.v1_speeds.append(self.v1.speed)
+        self.run.v2_speeds.append(self.v2.speed)
+        self.run.v1_positions.append(self.v1.x)
+        self.run.v2_positions.append(self.v2.x)
+
+    def _control_v1(self, now: float) -> None:
+        v1 = self.v1
+        if self.run.collided:
+            return
+        if not self._v1_detected and v1.x >= DETECT_X:
+            self._v1_detected = True
+            self.run.warning_sent_at = now
+            self.n1.originate(self.area, WARNING_PAYLOAD)
+        if self._v1_emergency_at is not None:
+            if now >= self._v1_emergency_at:
+                v1.forced_acceleration = EMERGENCY_DECEL
+            return
+        if self._sees_oncoming() and self._v1_in_opposite_lane:
+            self._v1_emergency_at = now + REACTION_DELAY
+            return
+        if not self._v1_detected:
+            v1.forced_acceleration = APPROACH_DECEL
+        elif v1.x < HAZARD_ZONE[0]:
+            v1.forced_acceleration = (
+                HAZARD_DECEL if v1.speed > PASS_SPEED else 0.0
+            )
+        elif v1.x < HAZARD_ZONE[1]:
+            self._v1_in_opposite_lane = True
+            v1.forced_acceleration = 0.0
+        else:
+            if self._v1_in_opposite_lane:
+                self._v1_in_opposite_lane = False
+                self._v1_cleared = True
+            # Back in its own lane: return to a constant cruise.
+            v1.forced_acceleration = 2.0 if v1.speed < 15.0 else 0.0
+
+    def _control_v2(self, now: float) -> None:
+        v2 = self.v2
+        if self.run.collided:
+            return
+        if self._v2_emergency_at is not None:
+            if now >= self._v2_emergency_at:
+                v2.forced_acceleration = EMERGENCY_DECEL
+            return
+        if self._sees_oncoming() and self._v1_in_opposite_lane:
+            self._v2_emergency_at = now + REACTION_DELAY
+            return
+        if self._v2_warned and not self._v1_cleared:
+            v2.forced_acceleration = (
+                WARNED_DECEL if v2.speed > CRAWL_SPEED else 0.0
+            )
+        elif self._v2_warned and self._v1_cleared:
+            v2.forced_acceleration = 2.0 if v2.speed < V2_SPEED else 0.0
+        else:
+            v2.forced_acceleration = (
+                APPROACH_DECEL if v2.speed > PASS_SPEED else 0.0
+            )
+
+    def _sees_oncoming(self) -> bool:
+        return abs(self.v1.x - self.v2.x) <= SIGHT_DISTANCE
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, duration: float = 40.0) -> SafetyRun:
+        self.traffic.start(self.sim)
+        self.sim.run_until(duration)
+        return self.run
+
+
+def run_safety_case(*, attacked: bool, seed: int = 1, duration: float = 40.0) -> SafetyRun:
+    """Run the curve scenario once and return its speed profiles/events."""
+    scenario = _CurveScenario(attacked=attacked, seed=seed)
+    return scenario.run_scenario(duration)
+
+
+@dataclass
+class SafetyComparison:
+    """Fig 13: attack-free vs attacked curve scenario."""
+
+    af: SafetyRun
+    atk: SafetyRun
+
+    def format(self) -> str:
+        return (
+            "Fig13: road-safety curve scenario\n"
+            f"  {self.af.format()}\n"
+            f"  {self.atk.format()}"
+        )
+
+
+def compare_safety(*, seed: int = 1, duration: float = 40.0) -> SafetyComparison:
+    """Run the paired attack-free / attacked curve scenarios."""
+    return SafetyComparison(
+        af=run_safety_case(attacked=False, seed=seed, duration=duration),
+        atk=run_safety_case(attacked=True, seed=seed, duration=duration),
+    )

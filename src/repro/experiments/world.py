@@ -1,0 +1,320 @@
+"""World building: one fully-wired simulated scenario.
+
+A :class:`World` assembles the whole system for one run: the event engine,
+the broadcast channel, the road traffic (pre-populated and/or spawning), a
+GeoNode per vehicle, static destination nodes beyond the road ends (for the
+inter-area workload), the attacker (B-runs only) and the metric recorder.
+
+A/B pairing: the attacker draws from its own random streams and never
+influences vehicle motion, so an attacked run with the same seed sees the
+same traffic and the same generated packets as its attack-free twin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.core.attacks import InterAreaInterceptor, IntraAreaBlocker, RoadsideAttacker
+from repro.core.vulnerability import VulnerabilityModel
+from repro.experiments.config import AttackKind, ExperimentConfig, WorkloadKind
+from repro.experiments.metrics import PacketOutcome, RunMetrics
+from repro.geo.areas import CircularArea, DestinationArea, RectangularArea
+from repro.geo.position import Position
+from repro.geonet.node import GeoNode, StaticMobility, VehicleMobility
+from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.radio.channel import BroadcastChannel
+from repro.security.ca import CertificateAuthority
+from repro.sim.engine import Simulator
+from repro.sim.process import every
+from repro.sim.random import RandomStreams
+from repro.traffic.idm import IdmParameters
+from repro.traffic.road import Direction, RoadSegment
+from repro.traffic.simulation import TrafficSimulation
+from repro.traffic.spawner import EntranceSpawner
+from repro.traffic.vehicle import Vehicle
+
+
+class World:
+    """One assembled scenario, attack-free (A) or attacked (B)."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        *,
+        attacked: bool,
+        seed: Optional[int] = None,
+        build_workload: Optional[Callable[["World"], None]] = None,
+    ):
+        self.config = config
+        self.attacked = attacked
+        self.seed = config.seed if seed is None else seed
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.seed)
+        self.ca = CertificateAuthority()
+        self.channel = BroadcastChannel(
+            self.sim, self.streams, loss_rate=config.channel_loss_rate
+        )
+
+        # --- road traffic ------------------------------------------------
+        road_cfg = config.road
+        self.road = RoadSegment(
+            length=road_cfg.length,
+            lanes_per_direction=road_cfg.lanes_per_direction,
+            lane_width=road_cfg.lane_width,
+            directions=road_cfg.directions,
+        )
+        self.spawner = (
+            EntranceSpawner(
+                spawn_gap=road_cfg.inter_vehicle_space,
+                entry_speed=road_cfg.entry_speed,
+                gap_jitter=0.3,
+                rng=self.streams.get("spawner"),
+            )
+            if road_cfg.spawn
+            else None
+        )
+        self.traffic = TrafficSimulation(
+            self.road,
+            IdmParameters(),
+            dt=config.mobility_dt,
+            spawner=self.spawner,
+            rng=self.streams.get("traffic"),
+            # Keep radios alive past the segment for one LocT lifetime, so
+            # exiting vehicles don't become phantom GF targets.
+            runout=config.geonet.loct_ttl * 30.0,
+        )
+        self.traffic.on_step.append(lambda _now: self.channel.invalidate_positions())
+
+        # --- nodes --------------------------------------------------------
+        self.nodes: Dict[int, GeoNode] = {}  # vehicle_id -> node
+        self.node_by_addr: Dict[int, GeoNode] = {}
+        self._veh_seq = 0
+        self.traffic.on_spawn.append(self._attach_node)
+        self.traffic.on_exit.append(self._detach_node)
+        if road_cfg.prepopulate:
+            self.traffic.populate(
+                spacing=road_cfg.inter_vehicle_space, speed=road_cfg.entry_speed
+            )
+
+        # --- destinations (inter-area workload) ----------------------------
+        self.dest_nodes: List[GeoNode] = []
+        self.dest_areas: Dict[Direction, DestinationArea] = {}
+        if config.workload.kind is WorkloadKind.INTER_AREA:
+            self._build_destinations()
+        self.flood_area = RectangularArea(
+            0.0, self.road.length, 0.0, self.road.total_width
+        )
+
+        # --- vulnerability geometry (drives paired workload selection) -----
+        self.vulnerability = VulnerabilityModel(
+            attacker_x=config.attacker_x,
+            attack_range=config.attack.attack_range,
+            vehicle_range=config.vehicle_range,
+            road_length=self.road.length,
+        )
+
+        # --- attacker (B runs) ---------------------------------------------
+        self.attacker: Optional[RoadsideAttacker] = None
+        if attacked and config.attack.kind is not AttackKind.NONE:
+            self.attacker = self._build_attacker()
+
+        # --- metrics & workload ---------------------------------------------
+        self.metrics = RunMetrics(
+            duration=config.duration, bin_width=config.bin_width
+        )
+        self._outcomes: Dict[PacketId, PacketOutcome] = {}
+        self._snapshots: Dict[PacketId, frozenset] = {}
+        self._started = False
+        if build_workload is not None:
+            build_workload(self)
+        else:
+            self._workload_rng = self.streams.get("workload")
+            every(
+                self.sim,
+                config.workload.packet_interval,
+                self._generate_packet,
+                start_delay=1.0,
+            )
+
+    # ------------------------------------------------------------------
+    # node lifecycle
+    # ------------------------------------------------------------------
+    def _attach_node(self, vehicle: Vehicle) -> None:
+        self._veh_seq += 1
+        seq = self._veh_seq
+        node = GeoNode(
+            sim=self.sim,
+            channel=self.channel,
+            config=self.config.geonet,
+            credentials=self.ca.enroll(f"veh-{seq}"),
+            mobility=VehicleMobility(vehicle),
+            tx_range=self.config.vehicle_range,
+            rng=self.streams.get(f"beacon:{seq}"),
+            name=f"veh-{seq}",
+        )
+        node.router.on_deliver.append(self._on_deliver)
+        self.nodes[vehicle.vehicle_id] = node
+        self.node_by_addr[node.address] = node
+
+    def _detach_node(self, vehicle: Vehicle) -> None:
+        node = self.nodes.pop(vehicle.vehicle_id, None)
+        if node is not None:
+            node.shutdown()
+
+    def _build_destinations(self) -> None:
+        y_center = self.road.total_width / 2
+        offset = self.config.workload.dest_offset
+        radius = self.config.workload.dest_radius
+        east_center = Position(self.road.length + offset, y_center)
+        west_center = Position(-offset, y_center)
+        self.dest_areas[Direction.EAST] = CircularArea(east_center, radius)
+        self.dest_areas[Direction.WEST] = CircularArea(west_center, radius)
+        for label, center in (("east", east_center), ("west", west_center)):
+            node = GeoNode(
+                sim=self.sim,
+                channel=self.channel,
+                config=self.config.geonet,
+                credentials=self.ca.enroll(f"dest-{label}"),
+                mobility=StaticMobility(center),
+                tx_range=self.config.vehicle_range,
+                rng=self.streams.get(f"beacon:dest-{label}"),
+                name=f"dest-{label}",
+            )
+            node.router.on_deliver.append(self._on_deliver)
+            self.dest_nodes.append(node)
+
+    def _build_attacker(self) -> RoadsideAttacker:
+        cfg = self.config.attack
+        position = Position(self.config.attacker_x, cfg.y_offset)
+        common = dict(
+            sim=self.sim,
+            channel=self.channel,
+            streams=self.streams,
+            position=position,
+            attack_range=cfg.attack_range,
+            reaction_delay=cfg.reaction_delay,
+        )
+        if cfg.kind is AttackKind.INTER_AREA:
+            return InterAreaInterceptor(**common)
+        return IntraAreaBlocker(
+            rewrite_rhl=cfg.rewrite_rhl, replay_range=cfg.replay_range, **common
+        )
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def _generate_packet(self) -> None:
+        # Packets sourced in the run's final second have no time to complete
+        # and would only add identical truncation noise to both A and B.
+        if self.sim.now > self.config.duration - 1.0:
+            return
+        if self.config.workload.kind is WorkloadKind.INTER_AREA:
+            self._generate_inter_area_packet()
+        else:
+            self._generate_intra_area_packet()
+
+    def _active_vehicle_nodes(self) -> List[tuple]:
+        """(vehicle, node) pairs on the segment proper, in deterministic
+        (lane, progress) order.  Runout vehicles still forward but neither
+        source packets nor count in reception denominators."""
+        pairs = []
+        for vehicle in self.traffic.vehicles(on_road_only=True):
+            node = self.nodes.get(vehicle.vehicle_id)
+            if node is not None and not node.is_shut_down:
+                pairs.append((vehicle, node))
+        return pairs
+
+    def _generate_inter_area_packet(self) -> None:
+        """Source one *vulnerable* GF packet (paper §IV-A)."""
+        candidates = []
+        for vehicle, node in self._active_vehicle_nodes():
+            directions = self.vulnerability.vulnerable_directions(vehicle.x)
+            if directions:
+                candidates.append((vehicle, node, directions))
+        if not candidates:
+            return
+        vehicle, node, directions = candidates[
+            self._workload_rng.randrange(len(candidates))
+        ]
+        direction = directions[self._workload_rng.randrange(len(directions))]
+        area = self.dest_areas[direction]
+        pid = node.originate(area, self.config.workload.payload)
+        self._outcomes[pid] = outcome = PacketOutcome(
+            packet_id=pid,
+            send_time=self.sim.now,
+            source_x=vehicle.x,
+            direction=int(direction),
+            success=0.0,
+            in_fully_covered_area=self.vulnerability.in_fully_covered_area(
+                vehicle.x
+            ),
+        )
+        self.metrics.record(outcome)
+
+    def _generate_intra_area_packet(self) -> None:
+        """Source one CBF flood over the whole segment (paper §IV-A)."""
+        pairs = self._active_vehicle_nodes()
+        if not pairs:
+            return
+        workload = self.config.workload
+        candidates = pairs
+        if workload.source_xmin is not None or workload.source_xmax is not None:
+            lo = workload.source_xmin if workload.source_xmin is not None else 0.0
+            hi = (
+                workload.source_xmax
+                if workload.source_xmax is not None
+                else self.road.length
+            )
+            candidates = [(v, n) for v, n in pairs if lo <= v.x <= hi]
+            if not candidates:
+                return  # nobody currently inside the requested region
+        vehicle, node = candidates[self._workload_rng.randrange(len(candidates))]
+        snapshot = frozenset(n.address for _v, n in pairs)
+        pid = node.originate(self.flood_area, self.config.workload.payload)
+        self._snapshots[pid] = snapshot
+        self._outcomes[pid] = outcome = PacketOutcome(
+            packet_id=pid,
+            send_time=self.sim.now,
+            source_x=vehicle.x,
+            direction=int(vehicle.direction),
+            success=0.0,
+            receivers=0,
+            denominator=len(snapshot),
+            in_fully_covered_area=self.vulnerability.in_fully_covered_area(
+                vehicle.x
+            ),
+        )
+        self.metrics.record(outcome)
+
+    # ------------------------------------------------------------------
+    # delivery recording
+    # ------------------------------------------------------------------
+    def _on_deliver(self, node: GeoNode, packet: GeoBroadcastPacket) -> None:
+        outcome = self._outcomes.get(packet.packet_id)
+        if outcome is None:
+            return
+        if self.config.workload.kind is WorkloadKind.INTER_AREA:
+            if node in self.dest_nodes and outcome.success == 0.0:
+                outcome.success = 1.0
+                outcome.delivery_latency = self.sim.now - outcome.send_time
+        else:
+            snapshot = self._snapshots.get(packet.packet_id)
+            if snapshot is not None and node.address in snapshot:
+                outcome.receivers += 1
+                outcome.success = outcome.receivers / outcome.denominator
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, duration: Optional[float] = None) -> RunMetrics:
+        """Run the scenario to completion and return the metrics."""
+        if not self._started:
+            self.traffic.start(self.sim)
+            self._started = True
+        self.sim.run_until(self.config.duration if duration is None else duration)
+        return self.metrics
+
+    def vehicles_on_road(self, direction: Optional[Direction] = None) -> int:
+        """Convenience passthrough for impact studies."""
+        return self.traffic.count_on_road(direction)

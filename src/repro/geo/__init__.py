@@ -1,0 +1,28 @@
+"""Geographic primitives: positions, position vectors and destination areas.
+
+ETSI GeoNetworking addresses packets to geographic *areas*.  We work in a
+local Cartesian plane (metres), which is the natural frame for the paper's
+4 km road segment; the geometry of circular / rectangular / elliptical areas
+matches EN 302 931 up to that projection.
+"""
+
+from repro.geo.position import Position, PositionVector
+from repro.geo.areas import (
+    CircularArea,
+    DestinationArea,
+    RectangularArea,
+    RoadSegmentArea,
+)
+from repro.geo.distance import distance, distance_to_area, progress_toward
+
+__all__ = [
+    "CircularArea",
+    "DestinationArea",
+    "Position",
+    "PositionVector",
+    "RectangularArea",
+    "RoadSegmentArea",
+    "distance",
+    "distance_to_area",
+    "progress_toward",
+]

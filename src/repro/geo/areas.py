@@ -1,0 +1,101 @@
+"""Destination areas for GeoBroadcast addressing.
+
+EN 302 931 defines circular, rectangular and elliptical target areas; the
+paper uses a circular "range radius r" for inter-area delivery and the whole
+road segment (a rectangle) for intra-area flooding.  All areas expose
+containment, a centre (GF routes toward the centre) and a boundary distance.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.geo.position import Position
+
+
+class DestinationArea(ABC):
+    """A geographic target area for GeoBroadcast packets."""
+
+    @property
+    @abstractmethod
+    def center(self) -> Position:
+        """The point GF forwards toward."""
+
+    @abstractmethod
+    def contains(self, position: Position) -> bool:
+        """Whether ``position`` lies inside (or on the boundary of) the area."""
+
+    @abstractmethod
+    def distance_from(self, position: Position) -> float:
+        """Distance from ``position`` to the area (0 when inside)."""
+
+
+@dataclass(frozen=True)
+class CircularArea(DestinationArea):
+    """A disc of radius ``radius`` centred on ``center_point``."""
+
+    center_point: Position
+    radius: float
+
+    def __post_init__(self):
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+
+    @property
+    def center(self) -> Position:
+        return self.center_point
+
+    def contains(self, position: Position) -> bool:
+        return position.distance_to(self.center_point) <= self.radius
+
+    def distance_from(self, position: Position) -> float:
+        return max(0.0, position.distance_to(self.center_point) - self.radius)
+
+
+@dataclass(frozen=True)
+class RectangularArea(DestinationArea):
+    """An axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self):
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(
+                f"degenerate rectangle: x=[{self.x_min}, {self.x_max}] "
+                f"y=[{self.y_min}, {self.y_max}]"
+            )
+
+    @property
+    def center(self) -> Position:
+        return Position((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+    def contains(self, position: Position) -> bool:
+        return (
+            self.x_min <= position.x <= self.x_max
+            and self.y_min <= position.y <= self.y_max
+        )
+
+    def distance_from(self, position: Position) -> float:
+        dx = max(self.x_min - position.x, 0.0, position.x - self.x_max)
+        dy = max(self.y_min - position.y, 0.0, position.y - self.y_max)
+        return math.hypot(dx, dy)
+
+
+class RoadSegmentArea(RectangularArea):
+    """The whole road segment as a destination area (intra-area flooding).
+
+    A thin convenience subclass: the paper's intra-area experiments set the
+    destination area to the full 4 000 m segment, all lanes.
+    """
+
+    def __init__(self, length: float, total_width: float, y_offset: float = 0.0):
+        if length <= 0 or total_width <= 0:
+            raise ValueError("road segment area needs positive length and width")
+        super().__init__(
+            x_min=0.0, x_max=length, y_min=y_offset, y_max=y_offset + total_width
+        )

@@ -1,0 +1,33 @@
+"""Distance helpers shared by the forwarding algorithms."""
+
+from __future__ import annotations
+
+from repro.geo.areas import DestinationArea
+from repro.geo.position import Position
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions, in metres."""
+    return a.distance_to(b)
+
+
+def distance_to_area(position: Position, area: DestinationArea) -> float:
+    """Distance from ``position`` to the *centre* of ``area``.
+
+    EN 302 636-4-1's GF forwarder compares distances to the area centre when
+    ranking candidate next hops; this is deliberately the centre distance,
+    not the boundary distance, so progress is still measurable inside large
+    areas.
+    """
+    return position.distance_to(area.center)
+
+
+def progress_toward(
+    current: Position, candidate: Position, area: DestinationArea
+) -> float:
+    """Forward progress (metres) the candidate makes toward the area centre.
+
+    Positive values mean the candidate is closer to the destination than the
+    current forwarder; GF only forwards on strictly positive progress.
+    """
+    return distance_to_area(current, area) - distance_to_area(candidate, area)

@@ -1,0 +1,76 @@
+"""Positions and ETSI-style position vectors.
+
+A :class:`Position` is a point in the local Cartesian plane (metres).  A
+:class:`PositionVector` (PV) is what GeoNetworking beacons carry: position,
+speed, heading and a generation timestamp.  PVs are immutable — a location
+table stores the PV it received, so an attacker replaying a beacon replays an
+*authentic* PV, which is exactly the property the inter-area attack abuses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Position:
+    """A point in the local Cartesian plane, in metres."""
+
+    x: float
+    y: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float = 0.0) -> "Position":
+        """Return a new position offset by ``(dx, dy)``."""
+        return Position(self.x + dx, self.y + dy)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, slots=True)
+class PositionVector:
+    """An ETSI GeoNetworking position vector (PV).
+
+    Attributes:
+        position: geographic position at ``timestamp``.
+        speed: ground speed in m/s (non-negative).
+        heading: direction of travel in radians, measured from +x.
+        timestamp: simulation time at which the PV was generated.
+    """
+
+    position: Position
+    speed: float
+    heading: float
+    timestamp: float
+
+    def __post_init__(self):
+        if self.speed < 0:
+            raise ValueError(f"speed must be non-negative, got {self.speed}")
+
+    @property
+    def velocity(self) -> tuple[float, float]:
+        """The (vx, vy) velocity implied by speed and heading."""
+        return (
+            self.speed * math.cos(self.heading),
+            self.speed * math.sin(self.heading),
+        )
+
+    def extrapolate(self, at_time: float) -> Position:
+        """Dead-reckon the position at ``at_time`` assuming constant velocity.
+
+        Used by plausibility heuristics; GeoNetworking itself never
+        extrapolates stored PVs, which is part of why stale entries hurt.
+        """
+        dt = at_time - self.timestamp
+        vx, vy = self.velocity
+        return Position(self.position.x + vx * dt, self.position.y + vy * dt)
+
+    def age(self, now: float) -> float:
+        """Seconds elapsed since the PV was generated."""
+        return now - self.timestamp

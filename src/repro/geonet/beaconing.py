@@ -1,0 +1,59 @@
+"""The beaconing service.
+
+Per the ETSI standard (as the paper describes it): "a beacon is periodically
+broadcast every 3 seconds with a random jitter within 0.75 seconds" and
+beacons are one-hop broadcast, authenticated but **not encrypted** — which is
+the first GF vulnerability (a roadside sniffer learns every advertised
+position).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class BeaconService:
+    """Periodically triggers a node's beacon broadcast with jitter.
+
+    The first beacon is sent after a uniform random fraction of the period so
+    that a freshly-spawned fleet does not beacon in lockstep.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_beacon: Callable[[], None],
+        rng: random.Random,
+        *,
+        period: float = 3.0,
+        jitter: float = 0.75,
+    ):
+        if period <= 0 or jitter < 0:
+            raise ValueError("invalid beacon timing")
+        self._rng = rng
+        self._jitter = jitter
+        self.beacons_sent = 0
+
+        def _tick() -> None:
+            send_beacon()
+            self.beacons_sent += 1
+
+        self._process = PeriodicProcess(
+            sim,
+            period,
+            _tick,
+            start_delay=rng.uniform(0, period),
+            jitter=(lambda: self._rng.uniform(0, self._jitter)) if jitter else None,
+        )
+
+    def stop(self) -> None:
+        """Stop beaconing (node leaving the simulation)."""
+        self._process.stop()
+
+    @property
+    def stopped(self) -> bool:
+        return self._process.stopped

@@ -1,0 +1,228 @@
+"""Contention-Based Forwarding (CBF) — intra-area flooding.
+
+On first reception of a GeoBroadcast packet, a node inside the destination
+area buffers it and starts a contention timer
+
+    TO = TO_MIN                                        if DIST > DIST_MAX
+    TO = TO_MAX + (TO_MIN - TO_MAX)/DIST_MAX * DIST    otherwise
+
+where DIST is the distance to the *previous sender*.  Nodes further from the
+sender time out earlier and re-broadcast; hearing a duplicate (same source
+address and sequence number) before the timer fires cancels the buffered
+copy.  The standard does **not** check who sent the duplicate, from where,
+or with what hop count — the three vulnerabilities the intra-area blockage
+attack combines.
+
+The §V mitigation is the optional RHL-drop check: a "duplicate" whose RHL is
+more than ``rhl_drop_threshold`` below the RHL of the first-received copy is
+not accepted as a duplicate (a legitimate peer's re-broadcast differs by one
+hop; the attacker's RHL=1 rewrite differs by many).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.geo.position import Position
+from repro.geonet.checks import duplicate_rhl_plausible
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+
+def contention_timeout(distance: float, config: GeoNetConfig) -> float:
+    """The CBF buffering timeout for a given distance to the previous sender."""
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    if distance > config.dist_max:
+        return config.to_min
+    return config.to_max + (config.to_min - config.to_max) / config.dist_max * distance
+
+
+#: Bound on consecutive carrier-sense backoffs, so a pathologically busy
+#: medium cannot park a packet forever.
+_MAX_CSMA_DEFERS = 20
+
+
+@dataclass
+class _BufferedPacket:
+    packet: GeoBroadcastPacket
+    first_rhl: int
+    forward_rhl: int
+    timer: EventHandle
+    buffered_at: float
+    defers: int = 0
+
+
+@dataclass
+class CbfStats:
+    """Counters for CBF behaviour across a node's lifetime."""
+
+    first_receptions: int = 0
+    buffered: int = 0
+    rebroadcasts: int = 0
+    suppressed_by_duplicate: int = 0
+    rhl_exhausted: int = 0
+    expired_in_buffer: int = 0
+    late_duplicates_ignored: int = 0
+    rhl_check_rejections: int = 0
+    csma_defers: int = 0
+
+
+class CbfForwarder:
+    """Per-node CBF state machine.
+
+    The owner provides two callbacks: ``deliver`` (first reception of a
+    packet — pass it up the stack) and ``broadcast`` (re-emit the packet with
+    the given RHL).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: GeoNetConfig,
+        get_position: Callable[[], Position],
+        deliver: Callable[[GeoBroadcastPacket], None],
+        broadcast: Callable[[GeoBroadcastPacket, int], None],
+        rng=None,
+        medium_busy: Optional[Callable[[], bool]] = None,
+    ):
+        self._sim = sim
+        self.config = config
+        self._get_position = get_position
+        self._deliver = deliver
+        self._broadcast = broadcast
+        self._rng = rng
+        #: Carrier-sense hook: when set and True at timer expiry, the
+        #: re-broadcast defers briefly (CSMA) — the deferring contender then
+        #: hears the in-flight duplicate and cancels like real radios do.
+        self._medium_busy = medium_busy
+        self._buffers: Dict[PacketId, _BufferedPacket] = {}
+        self._done: Set[PacketId] = set()
+        self.stats = CbfStats()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_buffered(self, packet_id: PacketId) -> bool:
+        """Whether the packet is currently contending."""
+        return packet_id in self._buffers
+
+    def has_processed(self, packet_id: PacketId) -> bool:
+        """Whether this node has already received the packet."""
+        return packet_id in self._done or packet_id in self._buffers
+
+    def mark_done(self, packet_id: PacketId) -> None:
+        """Record a packet as processed without buffering it.
+
+        Used for deliveries that cannot be forwarded (exhausted hop budget).
+        """
+        self._done.add(packet_id)
+
+    # ------------------------------------------------------------------
+    # reception
+    # ------------------------------------------------------------------
+    def handle_broadcast(self, packet: GeoBroadcastPacket) -> None:
+        """Process a GeoBroadcast heard on the channel (node is in-area)."""
+        now = self._sim.now
+        packet_id = packet.packet_id
+        buffered = self._buffers.get(packet_id)
+        if buffered is not None:
+            self._handle_duplicate(buffered, packet)
+            return
+        if packet_id in self._done:
+            self.stats.late_duplicates_ignored += 1
+            return
+        self._first_reception(packet, now)
+
+    def _handle_duplicate(
+        self, buffered: _BufferedPacket, duplicate: GeoBroadcastPacket
+    ) -> None:
+        if self.config.rhl_check and not duplicate_rhl_plausible(
+            buffered.first_rhl, duplicate.rhl, self.config.rhl_drop_threshold
+        ):
+            # Implausibly steep RHL drop: a legitimate peer one hop on would
+            # differ by ~1.  Keep contending.
+            self.stats.rhl_check_rejections += 1
+            return
+        buffered.timer.cancel()
+        del self._buffers[buffered.packet.packet_id]
+        self._done.add(buffered.packet.packet_id)
+        self.stats.suppressed_by_duplicate += 1
+
+    def _first_reception(self, packet: GeoBroadcastPacket, now: float) -> None:
+        self.stats.first_receptions += 1
+        self._deliver(packet)
+        if packet.expired(now):
+            self._done.add(packet.packet_id)
+            return
+        forward_rhl = packet.rhl - 1
+        if forward_rhl <= 0:
+            self.stats.rhl_exhausted += 1
+            self._done.add(packet.packet_id)
+            return
+        distance = self._get_position().distance_to(packet.sender_position)
+        timeout = contention_timeout(distance, self.config)
+        if self._rng is not None and self.config.cbf_timer_jitter > 0:
+            # MAC access / processing jitter; breaks equal-distance ties.
+            timeout += self._rng.uniform(0, self.config.cbf_timer_jitter)
+        timer = self._sim.schedule(timeout, self._contention_expired, packet.packet_id)
+        self._buffers[packet.packet_id] = _BufferedPacket(
+            packet=packet,
+            first_rhl=packet.rhl,
+            forward_rhl=forward_rhl,
+            timer=timer,
+            buffered_at=now,
+        )
+        self.stats.buffered += 1
+
+    # ------------------------------------------------------------------
+    # origination / timer expiry
+    # ------------------------------------------------------------------
+    def originate(self, packet: GeoBroadcastPacket) -> None:
+        """Broadcast a packet this node sources (or injects into the area).
+
+        The node counts as having received its own packet.
+        """
+        self._done.add(packet.packet_id)
+        self._broadcast(packet, packet.rhl)
+        self.stats.rebroadcasts += 1
+
+    def _contention_expired(self, packet_id: PacketId) -> None:
+        buffered = self._buffers.get(packet_id)
+        if buffered is None:
+            return
+        if (
+            self._medium_busy is not None
+            and buffered.defers < _MAX_CSMA_DEFERS
+            and self._medium_busy()
+        ):
+            # Channel busy: back off one airtime and listen — if the ongoing
+            # transmission is a duplicate of this packet, it will cancel us.
+            buffered.defers += 1
+            delay = 0.001
+            if self._rng is not None:
+                delay += self._rng.uniform(0, 0.0005)
+            buffered.timer = self._sim.schedule(
+                delay, self._contention_expired, packet_id
+            )
+            self.stats.csma_defers += 1
+            return
+        del self._buffers[packet_id]
+        self._done.add(packet_id)
+        if buffered.packet.expired(self._sim.now):
+            self.stats.expired_in_buffer += 1
+            return
+        self._broadcast(buffered.packet, buffered.forward_rhl)
+        self.stats.rebroadcasts += 1
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Cancel all contention timers (node leaving the simulation)."""
+        for buffered in self._buffers.values():
+            buffered.timer.cancel()
+        self._buffers.clear()

@@ -1,0 +1,41 @@
+"""Standard-compatible plausibility checks (the paper's §V mitigations).
+
+Both checks are pure predicates so they can be unit- and property-tested in
+isolation; the GF and CBF state machines consult them when the corresponding
+:class:`~repro.geonet.config.GeoNetConfig` switch is enabled.
+"""
+
+from __future__ import annotations
+
+from repro.geo.position import Position
+
+
+def position_plausible(
+    own_position: Position, advertised_position: Position, threshold: float
+) -> bool:
+    """GF forwarding-time plausibility check.
+
+    A candidate next hop is plausible iff the distance between the forwarder
+    and the position advertised in the candidate's beacon is within
+    ``threshold`` (the paper uses the technology's NLoS-median range).  A
+    beacon relayed from an out-of-coverage vehicle advertises a position
+    farther than any direct neighbor could be, so it fails this check.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    return own_position.distance_to(advertised_position) <= threshold
+
+
+def duplicate_rhl_plausible(
+    first_rhl: int, duplicate_rhl: int, threshold: int
+) -> bool:
+    """CBF RHL-drop check.
+
+    A genuine peer re-broadcast differs from the first-received copy by about
+    one hop; the blockage attacker must rewrite RHL down to 1, producing a
+    steep drop.  A duplicate is plausible iff the drop is at most
+    ``threshold`` (the paper uses 3).
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    return first_rhl - duplicate_rhl <= threshold

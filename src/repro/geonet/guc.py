@@ -1,0 +1,317 @@
+"""The GeoUnicast forwarding service with Location Service resolution.
+
+Per-node state machine (owned by the router):
+
+* ``send(dest_addr, payload)`` — route immediately if the destination's
+  position is known (LocT), otherwise buffer and flood an LS request;
+* LS requests are duplicate-filtered, hop-limited floods; the target
+  answers with a signed LS reply routed back toward the requester;
+* an LS reply (or any beacon) that reveals the target's position flushes
+  the buffered packets;
+* unanswered LS requests are retransmitted a bounded number of times, then
+  the buffered packets are dropped (counted).
+
+GUC relays use the same GF next-hop selection as inter-area GeoBroadcast,
+so the beacon-replay interception attack applies to GUC traffic unchanged
+(covered by tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.geo.areas import CircularArea
+from repro.geonet.unicast import (
+    GeoUnicastPacket,
+    GucBody,
+    LsReplyBody,
+    LsReplyPacket,
+    LsRequestBody,
+    LsRequestPacket,
+    UnicastId,
+)
+from repro.radio.frames import FrameKind
+from repro.security.signing import sign, verify
+from repro.sim.events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geonet.router import GeoRouter
+
+#: How often an unanswered LS request is retransmitted, and how many times.
+LS_RETRANSMIT_INTERVAL = 1.0
+LS_MAX_ATTEMPTS = 4
+#: Jitter before re-flooding an LS request (the channel has no CSMA).
+LS_FORWARD_JITTER = 0.005
+
+
+@dataclass
+class UnicastStats:
+    """Counters for GUC/LS behaviour."""
+
+    guc_originated: int = 0
+    guc_delivered: int = 0
+    guc_forwards: int = 0
+    guc_rechecks: int = 0
+    guc_drops: int = 0
+    ls_requests_sent: int = 0
+    ls_requests_forwarded: int = 0
+    ls_replies_sent: int = 0
+    ls_resolutions: int = 0
+    ls_failures: int = 0
+    rejected_auth: int = 0
+
+
+@dataclass
+class _PendingResolution:
+    target_addr: int
+    sequence_number: int
+    buffered: List[GucBody] = field(default_factory=list)
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+
+class UnicastService:
+    """GUC + LS on top of a node's router."""
+
+    def __init__(self, router: "GeoRouter"):
+        self.router = router
+        self.node = router.node
+        self.config = router.config
+        self._seq = itertools.count(1)
+        self._pending: Dict[int, _PendingResolution] = {}
+        self._ls_seen: Set[UnicastId] = set()
+        self._delivered: Set[tuple] = set()
+        self._rechecks: Set[EventHandle] = set()
+        self.on_deliver: List[Callable] = []
+        self.stats = UnicastStats()
+
+    # ------------------------------------------------------------------
+    # origination
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest_addr: int,
+        payload: str,
+        *,
+        lifetime: Optional[float] = None,
+        rhl: Optional[int] = None,
+    ) -> UnicastId:
+        """GeoUnicast ``payload`` to ``dest_addr``; resolves via LS if needed."""
+        now = self.node.sim.now
+        body = GucBody(
+            source_addr=self.node.address,
+            sequence_number=next(self._seq),
+            source_pv=self.node.position_vector(),
+            dest_addr=dest_addr,
+            payload=payload,
+            lifetime=self.config.default_lifetime if lifetime is None else lifetime,
+            created_at=now,
+        )
+        self.stats.guc_originated += 1
+        entry = self.router.loct.get(dest_addr, now)
+        if entry is not None:
+            self._route(self._packet_for(body, entry.position, rhl))
+        else:
+            self._buffer_and_resolve(body, rhl)
+        return body.packet_id
+
+    def _packet_for(
+        self, body: GucBody, dest_position, rhl: Optional[int]
+    ) -> GeoUnicastPacket:
+        return GeoUnicastPacket(
+            signed=sign(body, self.node.credentials),
+            rhl=self.config.default_rhl if rhl is None else rhl,
+            sender_addr=self.node.address,
+            sender_position=self.node.position(),
+            dest_position=dest_position,
+        )
+
+    # ------------------------------------------------------------------
+    # location service
+    # ------------------------------------------------------------------
+    def _buffer_and_resolve(self, body: GucBody, rhl: Optional[int]) -> None:
+        pending = self._pending.get(body.dest_addr)
+        if pending is None:
+            pending = _PendingResolution(
+                target_addr=body.dest_addr, sequence_number=next(self._seq)
+            )
+            self._pending[body.dest_addr] = pending
+            self._send_ls_request(pending)
+        pending.buffered.append(body)
+
+    def _send_ls_request(self, pending: _PendingResolution) -> None:
+        pending.attempts += 1
+        body = LsRequestBody(
+            source_addr=self.node.address,
+            sequence_number=pending.sequence_number,
+            source_pv=self.node.position_vector(),
+            target_addr=pending.target_addr,
+            created_at=self.node.sim.now,
+        )
+        packet = LsRequestPacket(
+            signed=sign(body, self.node.credentials),
+            rhl=self.config.default_rhl,
+            sender_addr=self.node.address,
+        )
+        self._ls_seen.add(packet.request_id)
+        self.stats.ls_requests_sent += 1
+        self.node.iface.send(FrameKind.GEO_BROADCAST, packet)
+        pending.timer = self.node.sim.schedule(
+            LS_RETRANSMIT_INTERVAL, self._ls_timeout, pending.target_addr
+        )
+
+    def _ls_timeout(self, target_addr: int) -> None:
+        pending = self._pending.get(target_addr)
+        if pending is None:
+            return
+        if pending.attempts >= LS_MAX_ATTEMPTS:
+            del self._pending[target_addr]
+            self.stats.ls_failures += 1
+            self.stats.guc_drops += len(pending.buffered)
+            return
+        # A beacon may have resolved the target in the meantime.
+        entry = self.router.loct.get(target_addr, self.node.sim.now)
+        if entry is not None:
+            self._flush(target_addr, entry.position)
+            return
+        self._send_ls_request(pending)
+
+    def _flush(self, target_addr: int, dest_position) -> None:
+        pending = self._pending.pop(target_addr, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.stats.ls_resolutions += 1
+        for body in pending.buffered:
+            if not body.expired(self.node.sim.now):
+                self._route(self._packet_for(body, dest_position, None))
+
+    def handle_ls_request(self, packet: LsRequestPacket) -> None:
+        """Process an LS request heard on the channel."""
+        if not verify(packet.signed):
+            self.stats.rejected_auth += 1
+            return
+        request_id = packet.request_id
+        if request_id in self._ls_seen:
+            return
+        self._ls_seen.add(request_id)
+        body = packet.body
+        if body.target_addr == self.node.address:
+            self._send_ls_reply(body)
+            return
+        if packet.rhl > 1:
+            forwarded = packet.next_hop_copy(
+                rhl=packet.rhl - 1, sender_addr=self.node.address
+            )
+            jitter = self.node.rng.uniform(0, LS_FORWARD_JITTER)
+            self.node.sim.schedule(
+                jitter,
+                self.node.iface.send,
+                FrameKind.GEO_BROADCAST,
+                forwarded,
+            )
+            self.stats.ls_requests_forwarded += 1
+
+    def _send_ls_reply(self, request: LsRequestBody) -> None:
+        body = LsReplyBody(
+            target_addr=self.node.address,
+            target_pv=self.node.position_vector(),
+            requester_addr=request.source_addr,
+            request_sequence_number=request.sequence_number,
+            created_at=self.node.sim.now,
+        )
+        reply = LsReplyPacket(
+            signed=sign(body, self.node.credentials),
+            rhl=self.config.default_rhl,
+            sender_addr=self.node.address,
+            sender_position=self.node.position(),
+            dest_position=request.source_pv.position,
+        )
+        self.stats.ls_replies_sent += 1
+        self._route(reply)
+
+    # ------------------------------------------------------------------
+    # routed-packet handling (GUC and LS replies share mechanics)
+    # ------------------------------------------------------------------
+    def handle_routed(self, packet) -> None:
+        """Process a GUC or LS-reply frame addressed to us at link layer."""
+        if not verify(packet.signed):
+            self.stats.rejected_auth += 1
+            return
+        if packet.routing_dest_addr == self.node.address:
+            self._deliver(packet)
+        else:
+            self._route(packet)
+
+    def _deliver(self, packet) -> None:
+        if packet.packet_id in self._delivered:
+            return
+        self._delivered.add(packet.packet_id)
+        if isinstance(packet, LsReplyPacket):
+            body = packet.body
+            # LS-learned positions are not one-hop neighbors: they are
+            # routing hints, never GF next-hop candidates.
+            self.router.loct.update(
+                body.target_addr,
+                body.target_pv,
+                self.node.sim.now,
+                neighbor=False,
+            )
+            self._flush(body.target_addr, body.target_pv.position)
+            return
+        self.stats.guc_delivered += 1
+        for callback in self.on_deliver:
+            callback(self.node, packet)
+
+    def _route(self, packet) -> None:
+        now = self.node.sim.now
+        if packet.expired(now):
+            self.stats.guc_drops += 1
+            return
+        if packet.rhl < 1:
+            self.stats.guc_drops += 1
+            return
+        dest_addr = packet.routing_dest_addr
+        # Refresh the routing hint if we know the destination more freshly.
+        entry = self.router.loct.get(dest_addr, now)
+        dest_position = (
+            entry.position if entry is not None else packet.dest_position
+        )
+        area = CircularArea(dest_position, 1.0)
+        selection = self.router.gf.select_next_hop(
+            self.node.position(),
+            area,
+            now,
+            exclude={self.node.address, packet.sender_addr},
+        )
+        if selection.next_hop is not None:
+            out = packet.next_hop_copy(
+                rhl=packet.rhl - 1,
+                sender_addr=self.node.address,
+                sender_position=self.node.position(),
+                dest_position=dest_position,
+            )
+            self.node.send_unicast(selection.next_hop.addr, out)
+            self.stats.guc_forwards += 1
+        else:
+            self.stats.guc_rechecks += 1
+            handle = self.node.sim.schedule(
+                self.config.gf_recheck_interval, self._route, packet
+            )
+            self._rechecks.add(handle)
+            if len(self._rechecks) > 64:
+                self._rechecks = {h for h in self._rechecks if not h.cancelled}
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Cancel LS timers and pending rechecks."""
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        for handle in self._rechecks:
+            handle.cancel()
+        self._rechecks.clear()

@@ -1,0 +1,114 @@
+"""The GeoNetworking location table (LocT).
+
+Every node stores the position vectors of the neighbors it has heard
+beacons from, as ``LocTE (addr, PV, TTL)`` per the paper.  Entries expire
+``ttl`` seconds after their last refresh (default 20 s).
+
+The table trusts whatever authenticated beacon it is given: EN 302 636-4-1
+performs no distance-plausibility check on reception, which is the second
+GF vulnerability the paper identifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.geo.position import Position, PositionVector
+
+
+@dataclass
+class LocationTableEntry:
+    """One LocTE: address, PV, neighbor flag and expiry bookkeeping.
+
+    ``is_neighbor`` mirrors the standard's IS_NEIGHBOUR flag: True when the
+    PV came from a one-hop beacon (so GF may pick the node as a next hop),
+    False when it was learned indirectly (Location Service, multi-hop
+    packets).  The inter-area attack works precisely because a *replayed*
+    beacon is still a beacon — the victim "labels V3 as a neighbor".
+    """
+
+    addr: int
+    pv: PositionVector
+    updated_at: float
+    expires_at: float
+    is_neighbor: bool = True
+
+    def is_live(self, now: float) -> bool:
+        """Whether the entry is still within its TTL."""
+        return now <= self.expires_at
+
+    @property
+    def position(self) -> Position:
+        """The advertised position (as beaconed — never extrapolated)."""
+        return self.pv.position
+
+
+class LocationTable:
+    """addr -> LocTE with TTL expiry."""
+
+    def __init__(self, ttl: float):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = ttl
+        self._entries: Dict[int, LocationTableEntry] = {}
+
+    def update(
+        self,
+        addr: int,
+        pv: PositionVector,
+        now: float,
+        *,
+        neighbor: bool = True,
+    ) -> LocationTableEntry:
+        """Insert or refresh the entry for ``addr`` with a new PV.
+
+        ``neighbor=False`` records indirectly-learned positions (Location
+        Service); it never downgrades an entry already known as a neighbor.
+        """
+        entry = self._entries.get(addr)
+        if entry is None:
+            entry = LocationTableEntry(
+                addr=addr,
+                pv=pv,
+                updated_at=now,
+                expires_at=now + self.ttl,
+                is_neighbor=neighbor,
+            )
+            self._entries[addr] = entry
+        else:
+            entry.pv = pv
+            entry.updated_at = now
+            entry.expires_at = now + self.ttl
+            entry.is_neighbor = entry.is_neighbor or neighbor
+        return entry
+
+    def get(self, addr: int, now: float) -> Optional[LocationTableEntry]:
+        """The live entry for ``addr``, or None."""
+        entry = self._entries.get(addr)
+        if entry is None or not entry.is_live(now):
+            return None
+        return entry
+
+    def remove(self, addr: int) -> None:
+        """Drop the entry for ``addr`` if present."""
+        self._entries.pop(addr, None)
+
+    def live_entries(self, now: float) -> Iterator[LocationTableEntry]:
+        """Iterate non-expired entries."""
+        for entry in self._entries.values():
+            if entry.is_live(now):
+                yield entry
+
+    def purge(self, now: float) -> int:
+        """Physically remove expired entries; returns how many were dropped."""
+        dead = [addr for addr, e in self._entries.items() if not e.is_live(now)]
+        for addr in dead:
+            del self._entries[addr]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._entries

@@ -1,0 +1,244 @@
+"""GeoNodes: the integration of mobility, radio, security and routing.
+
+A :class:`GeoNode` is a vehicle or a piece of roadside infrastructure that
+participates in GeoNetworking: it beacons its position vector, maintains a
+location table, and forwards GeoBroadcast packets via GF/CBF.  Nodes hold
+CA-issued credentials; every message they emit is signed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.geo.areas import DestinationArea
+from repro.geo.position import Position, PositionVector
+from repro.geonet.beaconing import BeaconService
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.packets import BeaconBody, GeoBroadcastPacket, PacketId
+from repro.geonet.router import GeoRouter
+from repro.radio.channel import BroadcastChannel, RadioInterface
+from repro.radio.frames import Frame, FrameKind
+from repro.security.certificates import Credentials
+from repro.security.signing import sign
+from repro.sim.engine import Simulator
+from repro.traffic.vehicle import Vehicle
+
+
+class VehicleMobility:
+    """Mobility source backed by a simulated vehicle."""
+
+    def __init__(self, vehicle: Vehicle):
+        self.vehicle = vehicle
+
+    def position(self) -> Position:
+        return self.vehicle.position
+
+    def position_vector(self, now: float) -> PositionVector:
+        return self.vehicle.position_vector(now)
+
+
+class StaticMobility:
+    """Mobility source for roadside units and fixed destinations."""
+
+    def __init__(self, position: Position):
+        self._position = position
+
+    def position(self) -> Position:
+        return self._position
+
+    def position_vector(self, now: float) -> PositionVector:
+        return PositionVector(
+            position=self._position, speed=0.0, heading=0.0, timestamp=now
+        )
+
+
+class GeoNode:
+    """A GeoNetworking participant."""
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        channel: BroadcastChannel,
+        config: GeoNetConfig,
+        credentials: Credentials,
+        mobility,
+        tx_range: float,
+        rng: Optional[random.Random] = None,
+        beaconing: bool = True,
+        name: str = "",
+        pseudonym_pool=None,
+        pseudonym_period: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.channel = channel
+        self.config = config
+        self.credentials = credentials
+        self.mobility = mobility
+        self.name = name
+        self._shut_down = False
+        self.iface = RadioInterface(get_position=mobility.position, tx_range=tx_range)
+        channel.register(self.iface)
+        #: Per-node randomness (beacon jitter, LS flood jitter).
+        self.rng = rng if rng is not None else random.Random(self.iface.address)
+        self.router = GeoRouter(self)
+        self.iface.attach(self._on_frame)
+        self.beacon_service: Optional[BeaconService] = None
+        if beaconing:
+            if rng is None:
+                raise ValueError("beaconing requires an rng for jitter")
+            self.beacon_service = BeaconService(
+                sim,
+                self.send_beacon,
+                rng,
+                period=config.beacon_period,
+                jitter=config.beacon_jitter,
+            )
+        # --- pseudonym rotation (privacy, paper §II) ----------------------
+        # "A personal vehicle is allowed to use a pseudonym to hide its true
+        # identity."  Rotation swaps the link-layer address; neighbors'
+        # stale LocT entries for the old address linger until TTL and any
+        # in-flight unicast toward it is lost — the real-world session-
+        # continuity cost of pseudonym change.
+        self._pseudonym_pool = pseudonym_pool
+        self._rotation_process = None
+        self.pseudonyms_used = 1
+        if pseudonym_period is not None:
+            if pseudonym_pool is None:
+                raise ValueError("pseudonym rotation requires a pool")
+            if pseudonym_period <= 0:
+                raise ValueError("pseudonym_period must be positive")
+            from repro.sim.process import PeriodicProcess
+
+            def _rotate_tick() -> None:
+                self.rotate_pseudonym()
+
+            self._rotation_process = PeriodicProcess(
+                sim,
+                pseudonym_period,
+                _rotate_tick,
+                start_delay=pseudonym_period,
+            )
+
+    # ------------------------------------------------------------------
+    # identity / state
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> int:
+        """The node's GeoNetworking (= link-layer) address."""
+        return self.iface.address
+
+    @property
+    def is_shut_down(self) -> bool:
+        return self._shut_down
+
+    def position(self) -> Position:
+        """The node's current position."""
+        return self.mobility.position()
+
+    def position_vector(self) -> PositionVector:
+        """The PV the node would advertise right now."""
+        return self.mobility.position_vector(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send_beacon(self) -> None:
+        """Sign and broadcast a beacon with the current PV."""
+        if self._shut_down:
+            return
+        body = BeaconBody(source_addr=self.address, pv=self.position_vector())
+        self.iface.send(FrameKind.BEACON, sign(body, self.credentials))
+
+    def send_unicast(self, dest_addr: int, packet: GeoBroadcastPacket) -> None:
+        """Link-layer unicast of a GF-forwarded packet.
+
+        No acknowledgement exists: if ``dest_addr`` is out of range the
+        packet is silently lost (GF vulnerability #3).
+        """
+        if self._shut_down:
+            return
+        self.iface.send(FrameKind.GEO_UNICAST, packet, dest_addr=dest_addr)
+
+    def send_broadcast(self, packet: GeoBroadcastPacket) -> None:
+        """Link-layer broadcast of a CBF packet."""
+        if self._shut_down:
+            return
+        self.iface.send(FrameKind.GEO_BROADCAST, packet)
+
+    def originate(
+        self,
+        area: DestinationArea,
+        payload: str,
+        *,
+        lifetime: Optional[float] = None,
+        rhl: Optional[int] = None,
+    ) -> PacketId:
+        """Source a new GeoBroadcast packet toward ``area``."""
+        return self.router.originate(area, payload, lifetime=lifetime, rhl=rhl)
+
+    def send_geo_unicast(
+        self,
+        dest_addr: int,
+        payload: str,
+        *,
+        lifetime: Optional[float] = None,
+        rhl: Optional[int] = None,
+    ) -> PacketId:
+        """GeoUnicast ``payload`` to another node's GN address.
+
+        Resolves the destination's position through the Location Service if
+        it is not in the location table.
+        """
+        return self.router.unicast.send(
+            dest_addr, payload, lifetime=lifetime, rhl=rhl
+        )
+
+    # ------------------------------------------------------------------
+    # pseudonym rotation
+    # ------------------------------------------------------------------
+    def rotate_pseudonym(self) -> int:
+        """Swap to a fresh pseudonymous link-layer address.
+
+        Returns the new address.  The old interface leaves the channel, so
+        unicasts addressed to the previous pseudonym are silently lost.
+        """
+        if self._pseudonym_pool is None:
+            raise RuntimeError("node was created without a pseudonym pool")
+        if self._shut_down:
+            return self.address
+        old_iface = self.iface
+        new_iface = RadioInterface(
+            get_position=self.mobility.position,
+            tx_range=old_iface.tx_range,
+            address=self._pseudonym_pool.draw(),
+        )
+        self.channel.unregister(old_iface)
+        self.channel.register(new_iface)
+        new_iface.attach(self._on_frame)
+        self.iface = new_iface
+        self.pseudonyms_used += 1
+        # Announce the new identity immediately so neighbors relearn us.
+        self.send_beacon()
+        return self.address
+
+    # ------------------------------------------------------------------
+    # reception / teardown
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        if self._shut_down:
+            return
+        self.router.handle_frame(frame)
+
+    def shutdown(self) -> None:
+        """Leave the network: stop beaconing, cancel timers, detach radio."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        if self.beacon_service is not None:
+            self.beacon_service.stop()
+        if self._rotation_process is not None:
+            self._rotation_process.stop()
+        self.router.shutdown()
+        self.channel.unregister(self.iface)

@@ -1,0 +1,105 @@
+"""GeoNetworking packet formats.
+
+The split between the *signed body* and the *per-hop mutable header* is the
+load-bearing design decision.  In secured GeoNetworking the source signs the
+payload, its position vector and the addressing information end-to-end, but
+fields that legitimate forwarders must rewrite on every hop — the Remaining
+Hop Limit and the forwarder (sender) position — cannot be covered by the
+source's signature.  The paper's third CBF vulnerability is precisely
+"**RHL is not integrity protected**"; here that is a structural property:
+:class:`GeoBroadcastPacket` carries the immutable
+:class:`~repro.security.signing.SignedMessage` plus the mutable hop fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.areas import DestinationArea
+from repro.geo.position import Position, PositionVector
+from repro.security.signing import SignedMessage
+
+#: (source GN address, source sequence number) — GeoNetworking's duplicate
+#: detection key.
+PacketId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BeaconBody:
+    """The signed content of a beacon: source address and position vector."""
+
+    source_addr: int
+    pv: PositionVector
+
+
+@dataclass(frozen=True)
+class GbcBody:
+    """The source-signed part of a GeoBroadcast packet."""
+
+    source_addr: int
+    sequence_number: int
+    source_pv: PositionVector
+    area: DestinationArea
+    payload: str
+    lifetime: float
+    created_at: float
+
+    def __post_init__(self):
+        if self.lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+
+    @property
+    def packet_id(self) -> PacketId:
+        return (self.source_addr, self.sequence_number)
+
+    def expired(self, now: float) -> bool:
+        """Whether the packet's lifetime has elapsed."""
+        return now > self.created_at + self.lifetime
+
+
+@dataclass(frozen=True)
+class GeoBroadcastPacket:
+    """A GeoBroadcast packet as it travels: signed body + per-hop fields.
+
+    Instances are immutable; forwarding produces a copy via
+    :meth:`next_hop_copy` with the same signed body, a decremented RHL and
+    the forwarder's identity — exactly what a legitimate forwarder does, and
+    exactly what an attacker can also do, since none of the per-hop fields
+    is covered by the signature.
+    """
+
+    signed: SignedMessage  # body is a GbcBody
+    rhl: int
+    sender_addr: int
+    sender_position: Position
+
+    def __post_init__(self):
+        if self.rhl < 0:
+            raise ValueError("rhl must be non-negative")
+
+    @property
+    def body(self) -> GbcBody:
+        return self.signed.body
+
+    @property
+    def packet_id(self) -> PacketId:
+        return self.body.packet_id
+
+    @property
+    def area(self) -> DestinationArea:
+        return self.body.area
+
+    def expired(self, now: float) -> bool:
+        return self.body.expired(now)
+
+    def next_hop_copy(
+        self, *, rhl: int, sender_addr: int, sender_position: Position
+    ) -> "GeoBroadcastPacket":
+        """The packet as re-emitted by a (legitimate or not) forwarder."""
+        return GeoBroadcastPacket(
+            signed=self.signed,
+            rhl=rhl,
+            sender_addr=sender_addr,
+            sender_position=sender_position,
+        )

@@ -1,0 +1,259 @@
+"""The GeoNetworking router: ties beacons, LocT, GF and CBF together.
+
+Per EN 302 636-4-1 GeoBroadcast forwarding:
+
+* a node *outside* the destination area forwards via GF (link-layer unicast
+  to the selected next hop, no acknowledgement);
+* a node *inside* the area disseminates via CBF broadcast;
+* a GF-carried packet that reaches a node inside the area is delivered and
+  injected into the intra-area CBF flood;
+* duplicate detection is by (source address, sequence number);
+* RHL is decremented at every forwarding and packets are dropped when their
+  lifetime or hop budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Set
+
+from repro.geo.areas import DestinationArea
+from repro.geonet.cbf import CbfForwarder
+from repro.geonet.gf import GreedyForwarder
+from repro.geonet.guc import UnicastService
+from repro.geonet.loct import LocationTable
+from repro.geonet.packets import BeaconBody, GbcBody, GeoBroadcastPacket, PacketId
+from repro.geonet.unicast import GeoUnicastPacket, LsReplyPacket, LsRequestPacket
+from repro.radio.frames import Frame, FrameKind
+from repro.security.signing import SignedMessage, sign, verify
+from repro.sim.events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geonet.node import GeoNode
+
+
+@dataclass
+class RouterStats:
+    """Per-node protocol counters."""
+
+    originated: int = 0
+    delivered: int = 0
+    beacons_accepted: int = 0
+    beacons_rejected_auth: int = 0
+    beacons_rejected_stale: int = 0
+    gbc_rejected_auth: int = 0
+    gf_forwards: int = 0
+    gf_rechecks: int = 0
+    gf_lifetime_drops: int = 0
+    gf_rhl_drops: int = 0
+    unicast_duplicates: int = 0
+    out_of_area_broadcasts: int = 0
+
+
+class GeoRouter:
+    """The per-node routing state machine."""
+
+    def __init__(self, node: "GeoNode"):
+        self.node = node
+        self.config = node.config
+        self.loct = LocationTable(ttl=self.config.loct_ttl)
+        self.gf = GreedyForwarder(self.config, self.loct)
+        self.cbf = CbfForwarder(
+            sim=node.sim,
+            config=self.config,
+            get_position=node.position,
+            deliver=self._deliver_local,
+            broadcast=self._cbf_broadcast,
+            rng=node.rng,
+            medium_busy=lambda: node.channel.medium_busy(node.position()),
+        )
+        self.unicast = UnicastService(self)
+        self._seq = itertools.count(1)
+        self._pending_rechecks: Set[EventHandle] = set()
+        self.on_deliver: List[Callable[["GeoNode", GeoBroadcastPacket], None]] = []
+        self.stats = RouterStats()
+
+    # ------------------------------------------------------------------
+    # origination
+    # ------------------------------------------------------------------
+    def originate(
+        self,
+        area: DestinationArea,
+        payload: str,
+        *,
+        lifetime: Optional[float] = None,
+        rhl: Optional[int] = None,
+    ) -> PacketId:
+        """Create, sign and route a new GeoBroadcast packet."""
+        now = self.node.sim.now
+        body = GbcBody(
+            source_addr=self.node.address,
+            sequence_number=next(self._seq),
+            source_pv=self.node.position_vector(),
+            area=area,
+            payload=payload,
+            lifetime=self.config.default_lifetime if lifetime is None else lifetime,
+            created_at=now,
+        )
+        packet = GeoBroadcastPacket(
+            signed=sign(body, self.node.credentials),
+            rhl=self.config.default_rhl if rhl is None else rhl,
+            sender_addr=self.node.address,
+            sender_position=self.node.position(),
+        )
+        self.stats.originated += 1
+        self._route(packet)
+        return packet.packet_id
+
+    def _route(self, packet: GeoBroadcastPacket) -> None:
+        if packet.area.contains(self.node.position()):
+            self._deliver_local(packet)
+            self.cbf.originate(packet)
+        else:
+            self._gf_route(packet)
+
+    # ------------------------------------------------------------------
+    # frame reception
+    # ------------------------------------------------------------------
+    def handle_frame(self, frame: Frame) -> None:
+        """Entry point for every frame the radio delivers."""
+        payload = frame.payload
+        if frame.kind is FrameKind.BEACON:
+            self._handle_beacon(payload)
+        elif frame.kind is FrameKind.GEO_BROADCAST:
+            if isinstance(payload, LsRequestPacket):
+                self.unicast.handle_ls_request(payload)
+            elif isinstance(payload, GeoBroadcastPacket):
+                self._handle_gbc_broadcast(payload)
+        elif frame.kind is FrameKind.GEO_UNICAST:
+            if isinstance(payload, (GeoUnicastPacket, LsReplyPacket)):
+                self.unicast.handle_routed(payload)
+            elif isinstance(payload, GeoBroadcastPacket):
+                self._handle_gbc_unicast(payload)
+
+    def _handle_beacon(self, message: SignedMessage) -> None:
+        if not isinstance(message, SignedMessage):
+            return  # other beacon-kind payloads (e.g. SHB) have own handlers
+        if not verify(message):
+            self.stats.beacons_rejected_auth += 1
+            return
+        body: BeaconBody = message.body
+        if not isinstance(body, BeaconBody):
+            return
+        if body.source_addr == self.node.address:
+            return  # our own beacon echoed back (e.g. by a replayer)
+        now = self.node.sim.now
+        if body.pv.age(now) > self.config.beacon_freshness_window:
+            self.stats.beacons_rejected_stale += 1
+            return
+        # NOTE: the standard performs *no* distance plausibility check here —
+        # an authentic beacon relayed from far away is accepted as a
+        # neighbor.  This is deliberate (vulnerability #2 of the paper).
+        self.loct.update(body.source_addr, body.pv, now)
+        self.stats.beacons_accepted += 1
+
+    def _handle_gbc_broadcast(self, packet: GeoBroadcastPacket) -> None:
+        if not verify(packet.signed):
+            self.stats.gbc_rejected_auth += 1
+            return
+        if not packet.area.contains(self.node.position()):
+            self.stats.out_of_area_broadcasts += 1
+            return
+        self.cbf.handle_broadcast(packet)
+
+    def _handle_gbc_unicast(self, packet: GeoBroadcastPacket) -> None:
+        if not verify(packet.signed):
+            self.stats.gbc_rejected_auth += 1
+            return
+        now = self.node.sim.now
+        if packet.expired(now):
+            self.stats.gf_lifetime_drops += 1
+            return
+        if packet.area.contains(self.node.position()):
+            packet_id = packet.packet_id
+            if self.cbf.has_processed(packet_id):
+                self.stats.unicast_duplicates += 1
+                return
+            self._deliver_local(packet)
+            forward_rhl = packet.rhl - 1
+            if forward_rhl > 0:
+                self.cbf.originate(
+                    packet.next_hop_copy(
+                        rhl=forward_rhl,
+                        sender_addr=self.node.address,
+                        sender_position=self.node.position(),
+                    )
+                )
+            else:
+                self.cbf.mark_done(packet_id)
+        else:
+            self._gf_route(packet)
+
+    # ------------------------------------------------------------------
+    # greedy forwarding
+    # ------------------------------------------------------------------
+    def _gf_route(self, packet: GeoBroadcastPacket) -> None:
+        now = self.node.sim.now
+        if packet.expired(now):
+            self.stats.gf_lifetime_drops += 1
+            return
+        if packet.rhl < 1:
+            self.stats.gf_rhl_drops += 1
+            return
+        selection = self.gf.select_next_hop(
+            self.node.position(),
+            packet.area,
+            now,
+            exclude={self.node.address, packet.sender_addr},
+        )
+        if selection.next_hop is not None:
+            out = packet.next_hop_copy(
+                rhl=packet.rhl - 1,
+                sender_addr=self.node.address,
+                sender_position=self.node.position(),
+            )
+            self.node.send_unicast(selection.next_hop.addr, out)
+            self.stats.gf_forwards += 1
+        else:
+            # "the forwarder either rechecks its LocT later or broadcasts the
+            # packet without specifying the next hop" — we recheck.
+            self.stats.gf_rechecks += 1
+            handle = self.node.sim.schedule(
+                self.config.gf_recheck_interval, self._gf_route, packet
+            )
+            self._pending_rechecks.add(handle)
+            self._prune_rechecks()
+
+    def _prune_rechecks(self) -> None:
+        if len(self._pending_rechecks) > 64:
+            self._pending_rechecks = {
+                h for h in self._pending_rechecks if not h.cancelled
+            }
+
+    # ------------------------------------------------------------------
+    # delivery / CBF integration
+    # ------------------------------------------------------------------
+    def _deliver_local(self, packet: GeoBroadcastPacket) -> None:
+        self.stats.delivered += 1
+        for callback in self.on_deliver:
+            callback(self.node, packet)
+
+    def _cbf_broadcast(self, packet: GeoBroadcastPacket, rhl: int) -> None:
+        out = packet.next_hop_copy(
+            rhl=rhl,
+            sender_addr=self.node.address,
+            sender_position=self.node.position(),
+        )
+        self.node.send_broadcast(out)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Cancel timers and pending rechecks (node leaving)."""
+        self.cbf.shutdown()
+        self.unicast.shutdown()
+        for handle in self._pending_rechecks:
+            handle.cancel()
+        self._pending_rechecks.clear()

@@ -1,0 +1,213 @@
+"""GeoUnicast (GUC) and the Location Service (LS).
+
+EN 302 636-4-1 transports:
+
+* **GeoUnicast** — deliver a payload to *one* GeoNetworking address.  The
+  source needs the destination's position to route greedily toward it; each
+  relay forwards with the same GF next-hop selection used for inter-area
+  GeoBroadcast (and is therefore exactly as vulnerable to the paper's
+  beacon-replay interception).
+* **Location Service** — when the destination's position is unknown, the
+  source buffers the packet and floods an ``LS_REQUEST`` (duplicate-filtered,
+  hop-limited).  The target answers with an ``LS_REPLY`` routed back as a
+  GeoUnicast toward the requester's position (carried in the request); the
+  reply populates the requester's location table and flushes the buffered
+  packets.
+
+All bodies are source-signed; like GBC, the per-hop RHL and sender fields
+stay outside the signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.position import Position, PositionVector
+from repro.security.signing import SignedMessage
+
+#: (source GN address, LS/GUC sequence number)
+UnicastId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GucBody:
+    """The source-signed part of a GeoUnicast packet."""
+
+    source_addr: int
+    sequence_number: int
+    source_pv: PositionVector
+    dest_addr: int
+    payload: str
+    lifetime: float
+    created_at: float
+
+    def __post_init__(self):
+        if self.lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+
+    @property
+    def packet_id(self) -> UnicastId:
+        return (self.source_addr, self.sequence_number)
+
+    def expired(self, now: float) -> bool:
+        return now > self.created_at + self.lifetime
+
+
+@dataclass(frozen=True)
+class GeoUnicastPacket:
+    """A GUC packet in flight: signed body + per-hop mutable fields.
+
+    ``dest_position`` is the routing hint (where the source believes the
+    destination is); like RHL it is rewritten per hop if a relay has fresher
+    knowledge, so it cannot be covered by the source signature.
+    """
+
+    signed: SignedMessage  # body is a GucBody
+    rhl: int
+    sender_addr: int
+    sender_position: Position
+    dest_position: Position
+
+    def __post_init__(self):
+        if self.rhl < 0:
+            raise ValueError("rhl must be non-negative")
+
+    @property
+    def body(self) -> GucBody:
+        return self.signed.body
+
+    @property
+    def packet_id(self) -> UnicastId:
+        return self.body.packet_id
+
+    @property
+    def routing_dest_addr(self) -> int:
+        return self.body.dest_addr
+
+    def expired(self, now: float) -> bool:
+        return self.body.expired(now)
+
+    def next_hop_copy(
+        self,
+        *,
+        rhl: int,
+        sender_addr: int,
+        sender_position: Position,
+        dest_position: Position,
+    ) -> "GeoUnicastPacket":
+        return GeoUnicastPacket(
+            signed=self.signed,
+            rhl=rhl,
+            sender_addr=sender_addr,
+            sender_position=sender_position,
+            dest_position=dest_position,
+        )
+
+
+@dataclass(frozen=True)
+class LsRequestBody:
+    """The signed content of a Location Service request."""
+
+    source_addr: int
+    sequence_number: int
+    source_pv: PositionVector
+    target_addr: int
+    created_at: float
+
+    @property
+    def request_id(self) -> UnicastId:
+        return (self.source_addr, self.sequence_number)
+
+
+@dataclass(frozen=True)
+class LsRequestPacket:
+    """An LS request in flight (simple hop-limited flood)."""
+
+    signed: SignedMessage  # body is an LsRequestBody
+    rhl: int
+    sender_addr: int
+
+    def __post_init__(self):
+        if self.rhl < 0:
+            raise ValueError("rhl must be non-negative")
+
+    @property
+    def body(self) -> LsRequestBody:
+        return self.signed.body
+
+    @property
+    def request_id(self) -> UnicastId:
+        return self.body.request_id
+
+    def next_hop_copy(self, *, rhl: int, sender_addr: int) -> "LsRequestPacket":
+        return LsRequestPacket(signed=self.signed, rhl=rhl, sender_addr=sender_addr)
+
+
+@dataclass(frozen=True)
+class LsReplyBody:
+    """The signed content of a Location Service reply.
+
+    Carries the target's fresh PV; routed back to the requester as a
+    GeoUnicast-style packet toward the requester's position.
+    """
+
+    target_addr: int
+    target_pv: PositionVector
+    requester_addr: int
+    request_sequence_number: int
+    created_at: float
+    lifetime: float = 10.0
+
+    @property
+    def request_id(self) -> UnicastId:
+        return (self.requester_addr, self.request_sequence_number)
+
+    def expired(self, now: float) -> bool:
+        return now > self.created_at + self.lifetime
+
+
+@dataclass(frozen=True)
+class LsReplyPacket:
+    """An LS reply in flight — routed like a GUC toward the requester."""
+
+    signed: SignedMessage  # body is an LsReplyBody
+    rhl: int
+    sender_addr: int
+    sender_position: Position
+    dest_position: Position
+
+    def __post_init__(self):
+        if self.rhl < 0:
+            raise ValueError("rhl must be non-negative")
+
+    @property
+    def body(self) -> LsReplyBody:
+        return self.signed.body
+
+    @property
+    def routing_dest_addr(self) -> int:
+        return self.body.requester_addr
+
+    @property
+    def packet_id(self) -> Tuple[str, int, int]:
+        return ("ls-reply",) + self.body.request_id
+
+    def expired(self, now: float) -> bool:
+        return self.body.expired(now)
+
+    def next_hop_copy(
+        self,
+        *,
+        rhl: int,
+        sender_addr: int,
+        sender_position: Position,
+        dest_position: Position,
+    ) -> "LsReplyPacket":
+        return LsReplyPacket(
+            signed=self.signed,
+            rhl=rhl,
+            sender_addr=sender_addr,
+            sender_position=sender_position,
+            dest_position=dest_position,
+        )

@@ -1,0 +1,393 @@
+"""Wire format: byte encodings of GeoNetworking messages.
+
+A simplified but structurally faithful encoding of the secured GN packets
+(EN 302 636-4-1 headers inside an IEEE 1609.2-style security envelope).
+Two uses:
+
+* round-trip serialization so the packet formats are honest data structures
+  (tested field-for-field);
+* on-air byte accounting for the §V overhead analysis — the paper rejects
+  beacon encryption partly on overhead grounds, and with real frame sizes
+  that argument can be quantified (see
+  :mod:`repro.experiments.overhead`).
+
+Layout (big-endian):
+
+* **Basic header** (4 B): version, next-header, RHL, reserved.
+* **Long position vector** (28 B): GN address (8 B), timestamp (8 B),
+  x, y (4 B each, centimetres), speed (2 B, cm/s), heading (2 B, centideg).
+* **Security envelope**: certificate digest (8 B) + ECDSA-size signature
+  (64 B) around the signed payload.
+
+The signature bytes are carried opaque (our crypto is simulated); the
+*sizes* match the real system, which is what the overhead model needs.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Tuple
+
+from repro.geo.areas import CircularArea, DestinationArea, RectangularArea
+from repro.geo.position import Position, PositionVector
+
+BASIC_HEADER = struct.Struct("!BBBB")
+LONG_PV = struct.Struct("!QQiihh")
+AREA_HEADER = struct.Struct("!Biiiii")
+GBC_HEADER = struct.Struct("!QIdd")  # source, seq, lifetime, created_at
+SECURITY_TRAILER_SIZE = 8 + 64  # certificate digest + ECDSA signature
+BEACON_TYPE, GBC_TYPE = 1, 4
+
+_AREA_CIRCLE, _AREA_RECT = 1, 2
+
+
+class WireError(ValueError):
+    """Raised on malformed byte strings."""
+
+
+# ---------------------------------------------------------------------------
+# position vectors
+# ---------------------------------------------------------------------------
+def encode_pv(addr: int, pv: PositionVector) -> bytes:
+    """Encode a long position vector (address + PV)."""
+    return LONG_PV.pack(
+        addr,
+        int(pv.timestamp * 1000),  # ms
+        int(round(pv.position.x * 100)),  # cm
+        int(round(pv.position.y * 100)),
+        min(int(round(pv.speed * 100)), 0x7FFF),  # cm/s
+        int(round(math.degrees(pv.heading) * 100)) % 36000,
+    )
+
+
+def decode_pv(data: bytes) -> Tuple[int, PositionVector]:
+    """Decode a long position vector; returns (address, PV)."""
+    if len(data) < LONG_PV.size:
+        raise WireError("truncated position vector")
+    addr, ts_ms, x_cm, y_cm, speed_cms, heading_cd = LONG_PV.unpack_from(data)
+    return addr, PositionVector(
+        position=Position(x_cm / 100.0, y_cm / 100.0),
+        speed=speed_cms / 100.0,
+        heading=math.radians(heading_cd / 100.0),
+        timestamp=ts_ms / 1000.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# destination areas
+# ---------------------------------------------------------------------------
+def encode_area(area: DestinationArea) -> bytes:
+    """Encode a circular or rectangular destination area."""
+    if isinstance(area, CircularArea):
+        return AREA_HEADER.pack(
+            _AREA_CIRCLE,
+            int(round(area.center_point.x * 100)),
+            int(round(area.center_point.y * 100)),
+            int(round(area.radius * 100)),
+            0,
+            0,
+        )
+    if isinstance(area, RectangularArea):
+        return AREA_HEADER.pack(
+            _AREA_RECT,
+            int(round(area.x_min * 100)),
+            int(round(area.x_max * 100)),
+            int(round(area.y_min * 100)),
+            int(round(area.y_max * 100)),
+            0,
+        )
+    raise WireError(f"unsupported area type {type(area).__name__}")
+
+
+def decode_area(data: bytes) -> DestinationArea:
+    """Decode a destination area."""
+    if len(data) < AREA_HEADER.size:
+        raise WireError("truncated area")
+    kind, a, b, c, d, _pad = AREA_HEADER.unpack_from(data)
+    if kind == _AREA_CIRCLE:
+        return CircularArea(Position(a / 100.0, b / 100.0), c / 100.0)
+    if kind == _AREA_RECT:
+        return RectangularArea(a / 100.0, b / 100.0, c / 100.0, d / 100.0)
+    raise WireError(f"unknown area kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# whole messages
+# ---------------------------------------------------------------------------
+def encode_beacon(addr: int, pv: PositionVector) -> bytes:
+    """Serialize a beacon (basic header + long PV + security trailer)."""
+    header = BASIC_HEADER.pack(1, BEACON_TYPE, 1, 0)
+    body = encode_pv(addr, pv)
+    return header + body + b"\x00" * SECURITY_TRAILER_SIZE
+
+
+def decode_beacon(data: bytes) -> Tuple[int, PositionVector]:
+    """Parse a serialized beacon; returns (address, PV)."""
+    if len(data) < BASIC_HEADER.size + LONG_PV.size + SECURITY_TRAILER_SIZE:
+        raise WireError("truncated beacon")
+    version, next_header, _rhl, _res = BASIC_HEADER.unpack_from(data)
+    if version != 1 or next_header != BEACON_TYPE:
+        raise WireError("not a beacon")
+    return decode_pv(data[BASIC_HEADER.size :])
+
+
+def encode_gbc(
+    *,
+    source_addr: int,
+    sequence_number: int,
+    source_pv: PositionVector,
+    area: DestinationArea,
+    payload: str,
+    lifetime: float,
+    created_at: float,
+    rhl: int,
+) -> bytes:
+    """Serialize a GeoBroadcast packet."""
+    header = BASIC_HEADER.pack(1, GBC_TYPE, rhl & 0xFF, 0)
+    gbc = GBC_HEADER.pack(source_addr, sequence_number, lifetime, created_at)
+    pv = encode_pv(source_addr, source_pv)
+    area_bytes = encode_area(area)
+    payload_bytes = payload.encode("utf-8")
+    length = struct.pack("!H", len(payload_bytes))
+    return (
+        header
+        + gbc
+        + pv
+        + area_bytes
+        + length
+        + payload_bytes
+        + b"\x00" * SECURITY_TRAILER_SIZE
+    )
+
+
+def decode_gbc(data: bytes) -> dict:
+    """Parse a serialized GeoBroadcast packet into its fields."""
+    offset = 0
+    if len(data) < BASIC_HEADER.size:
+        raise WireError("truncated basic header")
+    version, next_header, rhl, _res = BASIC_HEADER.unpack_from(data, offset)
+    if version != 1 or next_header != GBC_TYPE:
+        raise WireError("not a GeoBroadcast packet")
+    offset += BASIC_HEADER.size
+    source_addr, seq, lifetime, created_at = GBC_HEADER.unpack_from(data, offset)
+    offset += GBC_HEADER.size
+    _addr, source_pv = decode_pv(data[offset:])
+    offset += LONG_PV.size
+    area = decode_area(data[offset:])
+    offset += AREA_HEADER.size
+    (payload_len,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    payload = data[offset : offset + payload_len].decode("utf-8")
+    offset += payload_len
+    if len(data) < offset + SECURITY_TRAILER_SIZE:
+        raise WireError("truncated security trailer")
+    return {
+        "source_addr": source_addr,
+        "sequence_number": seq,
+        "source_pv": source_pv,
+        "area": area,
+        "payload": payload,
+        "lifetime": lifetime,
+        "created_at": created_at,
+        "rhl": rhl,
+    }
+
+
+# ---------------------------------------------------------------------------
+# size accounting
+# ---------------------------------------------------------------------------
+def beacon_size() -> int:
+    """On-air bytes of one signed beacon."""
+    return BASIC_HEADER.size + LONG_PV.size + SECURITY_TRAILER_SIZE
+
+
+def gbc_size(payload: str) -> int:
+    """On-air bytes of one signed GeoBroadcast packet."""
+    return (
+        BASIC_HEADER.size
+        + GBC_HEADER.size
+        + LONG_PV.size
+        + AREA_HEADER.size
+        + 2
+        + len(payload.encode("utf-8"))
+        + SECURITY_TRAILER_SIZE
+    )
+
+
+#: Extra bytes when a message is encrypted instead of merely signed
+#: (IEEE 1609.2 encrypted-data envelope: recipient info + AES-CCM nonce/tag).
+ENCRYPTION_OVERHEAD = 40
+
+
+# ---------------------------------------------------------------------------
+# GeoUnicast / Location Service / SHB encodings
+# ---------------------------------------------------------------------------
+GUC_HEADER = struct.Struct("!QIQdd")  # source, seq, dest addr, lifetime, created
+LS_REQUEST_HEADER = struct.Struct("!QIQd")  # source, seq, target, created_at
+SHB_HEADER = struct.Struct("!QI")  # source, seq
+GUC_TYPE, LS_REQUEST_TYPE, SHB_TYPE = 2, 6, 5
+
+
+def encode_guc(
+    *,
+    source_addr: int,
+    sequence_number: int,
+    source_pv: PositionVector,
+    dest_addr: int,
+    dest_position: Position,
+    payload: str,
+    lifetime: float,
+    created_at: float,
+    rhl: int,
+) -> bytes:
+    """Serialize a GeoUnicast packet (dest position is the routing hint)."""
+    header = BASIC_HEADER.pack(1, GUC_TYPE, rhl & 0xFF, 0)
+    guc = GUC_HEADER.pack(source_addr, sequence_number, dest_addr, lifetime, created_at)
+    pv = encode_pv(source_addr, source_pv)
+    hint = struct.pack(
+        "!ii",
+        int(round(dest_position.x * 100)),
+        int(round(dest_position.y * 100)),
+    )
+    payload_bytes = payload.encode("utf-8")
+    length = struct.pack("!H", len(payload_bytes))
+    return (
+        header + guc + pv + hint + length + payload_bytes
+        + b"\x00" * SECURITY_TRAILER_SIZE
+    )
+
+
+def decode_guc(data: bytes) -> dict:
+    """Parse a serialized GeoUnicast packet."""
+    offset = 0
+    version, next_header, rhl, _res = BASIC_HEADER.unpack_from(data, offset)
+    if version != 1 or next_header != GUC_TYPE:
+        raise WireError("not a GeoUnicast packet")
+    offset += BASIC_HEADER.size
+    source_addr, seq, dest_addr, lifetime, created_at = GUC_HEADER.unpack_from(
+        data, offset
+    )
+    offset += GUC_HEADER.size
+    _addr, source_pv = decode_pv(data[offset:])
+    offset += LONG_PV.size
+    hint_x, hint_y = struct.unpack_from("!ii", data, offset)
+    offset += 8
+    (payload_len,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    payload = data[offset : offset + payload_len].decode("utf-8")
+    offset += payload_len
+    if len(data) < offset + SECURITY_TRAILER_SIZE:
+        raise WireError("truncated security trailer")
+    return {
+        "source_addr": source_addr,
+        "sequence_number": seq,
+        "dest_addr": dest_addr,
+        "dest_position": Position(hint_x / 100.0, hint_y / 100.0),
+        "source_pv": source_pv,
+        "payload": payload,
+        "lifetime": lifetime,
+        "created_at": created_at,
+        "rhl": rhl,
+    }
+
+
+def encode_ls_request(
+    *,
+    source_addr: int,
+    sequence_number: int,
+    source_pv: PositionVector,
+    target_addr: int,
+    created_at: float,
+    rhl: int,
+) -> bytes:
+    """Serialize a Location Service request."""
+    header = BASIC_HEADER.pack(1, LS_REQUEST_TYPE, rhl & 0xFF, 0)
+    body = LS_REQUEST_HEADER.pack(source_addr, sequence_number, target_addr, created_at)
+    pv = encode_pv(source_addr, source_pv)
+    return header + body + pv + b"\x00" * SECURITY_TRAILER_SIZE
+
+
+def decode_ls_request(data: bytes) -> dict:
+    """Parse a serialized Location Service request."""
+    minimum = (
+        BASIC_HEADER.size
+        + LS_REQUEST_HEADER.size
+        + LONG_PV.size
+        + SECURITY_TRAILER_SIZE
+    )
+    if len(data) < minimum:
+        raise WireError("truncated LS request")
+    offset = 0
+    version, next_header, rhl, _res = BASIC_HEADER.unpack_from(data, offset)
+    if version != 1 or next_header != LS_REQUEST_TYPE:
+        raise WireError("not an LS request")
+    offset += BASIC_HEADER.size
+    source_addr, seq, target_addr, created_at = LS_REQUEST_HEADER.unpack_from(
+        data, offset
+    )
+    offset += LS_REQUEST_HEADER.size
+    _addr, source_pv = decode_pv(data[offset:])
+    offset += LONG_PV.size
+    if len(data) < offset + SECURITY_TRAILER_SIZE:
+        raise WireError("truncated security trailer")
+    return {
+        "source_addr": source_addr,
+        "sequence_number": seq,
+        "target_addr": target_addr,
+        "created_at": created_at,
+        "source_pv": source_pv,
+        "rhl": rhl,
+    }
+
+
+def encode_shb(
+    *, source_addr: int, sequence_number: int, pv: PositionVector, payload: str
+) -> bytes:
+    """Serialize a Single-Hop Broadcast (CAM/BSM)."""
+    header = BASIC_HEADER.pack(1, SHB_TYPE, 1, 0)
+    body = SHB_HEADER.pack(source_addr, sequence_number)
+    pv_bytes = encode_pv(source_addr, pv)
+    payload_bytes = payload.encode("utf-8")
+    length = struct.pack("!H", len(payload_bytes))
+    return (
+        header + body + pv_bytes + length + payload_bytes
+        + b"\x00" * SECURITY_TRAILER_SIZE
+    )
+
+
+def decode_shb(data: bytes) -> dict:
+    """Parse a serialized Single-Hop Broadcast."""
+    offset = 0
+    version, next_header, _rhl, _res = BASIC_HEADER.unpack_from(data, offset)
+    if version != 1 or next_header != SHB_TYPE:
+        raise WireError("not an SHB")
+    offset += BASIC_HEADER.size
+    source_addr, seq = SHB_HEADER.unpack_from(data, offset)
+    offset += SHB_HEADER.size
+    _addr, pv = decode_pv(data[offset:])
+    offset += LONG_PV.size
+    (payload_len,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    payload = data[offset : offset + payload_len].decode("utf-8")
+    offset += payload_len
+    if len(data) < offset + SECURITY_TRAILER_SIZE:
+        raise WireError("truncated security trailer")
+    return {
+        "source_addr": source_addr,
+        "sequence_number": seq,
+        "pv": pv,
+        "payload": payload,
+    }
+
+
+def shb_size(payload: str) -> int:
+    """On-air bytes of one signed SHB."""
+    return (
+        BASIC_HEADER.size
+        + SHB_HEADER.size
+        + LONG_PV.size
+        + 2
+        + len(payload.encode("utf-8"))
+        + SECURITY_TRAILER_SIZE
+    )

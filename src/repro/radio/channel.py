@@ -1,0 +1,301 @@
+"""The unit-disk broadcast channel.
+
+Delivery rule: a receiver hears a frame iff
+
+    dist(sender, receiver) <= link_range
+
+where ``link_range`` is the sender's transmit range for that frame, unless
+the *receiver* declares a ``link_range`` override — then the override
+applies.  The override models the attacker's asymmetric channel: a roadside
+sniffer on a mast has line-of-sight where vehicles are obstructed, so every
+link touching it — sniffing *and* injection — has the attack range, not the
+vehicle-to-vehicle range ("the attacker-to-vehicle communication range can
+easily be larger than the vehicle-to-vehicle one", §III-B).  A worst-NLoS
+attacker is conversely limited to its short range in both directions.
+
+Vehicle-to-vehicle links have no override and reduce to the classic unit
+disk at the technology's NLoS-median range.
+
+Unicast frames are delivered to the addressee only (if in range), but
+promiscuous interfaces overhear them — radio is a broadcast medium.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.geo.position import Position
+from repro.radio.frames import Frame, FrameKind
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+_address_counter = itertools.count(1)
+
+
+def allocate_address() -> int:
+    """Allocate a unique link-layer address."""
+    return next(_address_counter)
+
+
+class RadioInterface:
+    """A node's attachment point to the channel."""
+
+    def __init__(
+        self,
+        get_position: Callable[[], Position],
+        tx_range: float,
+        *,
+        link_range: Optional[float] = None,
+        address: Optional[int] = None,
+        promiscuous: bool = False,
+    ):
+        if tx_range < 0:
+            raise ValueError(f"tx_range must be non-negative, got {tx_range}")
+        if link_range is not None and link_range <= 0:
+            raise ValueError(f"link_range must be positive, got {link_range}")
+        self.address = allocate_address() if address is None else address
+        self.get_position = get_position
+        self.tx_range = float(tx_range)
+        #: When set, every link toward this interface uses this range instead
+        #: of the sender's transmit range (asymmetric-channel override).
+        self.link_range = None if link_range is None else float(link_range)
+        self.promiscuous = promiscuous
+        self.handler: Optional[Callable[[Frame], None]] = None
+        self.channel: Optional["BroadcastChannel"] = None
+
+    def attach(self, handler: Callable[[Frame], None]) -> None:
+        """Register the receive callback for this interface."""
+        self.handler = handler
+
+    def send(
+        self,
+        kind: FrameKind,
+        payload,
+        *,
+        dest_addr: Optional[int] = None,
+        tx_range: Optional[float] = None,
+    ) -> Frame:
+        """Transmit a frame on the attached channel."""
+        if self.channel is None:
+            raise RuntimeError("interface is not registered on a channel")
+        return self.channel.transmit(
+            self, kind, payload, dest_addr=dest_addr, tx_range=tx_range
+        )
+
+    def deliver(self, frame: Frame) -> None:
+        """Hand a received frame to the attached handler (if any)."""
+        if self.handler is not None:
+            self.handler(frame)
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate channel counters for diagnostics and overhead accounting."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_faded: int = 0
+    unicast_lost: int = 0
+    sent_by_kind: Dict[FrameKind, int] = field(default_factory=dict)
+    delivered_by_kind: Dict[FrameKind, int] = field(default_factory=dict)
+
+    def record_sent(self, kind: FrameKind) -> None:
+        self.frames_sent += 1
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+
+    def record_delivered(self, kind: FrameKind, count: int) -> None:
+        self.frames_delivered += count
+        self.delivered_by_kind[kind] = self.delivered_by_kind.get(kind, 0) + count
+
+
+class BroadcastChannel:
+    """The shared medium all radio interfaces are registered on.
+
+    Positions are cached in numpy arrays and refreshed when
+    :meth:`invalidate_positions` is called (the mobility loop calls it every
+    step); since node positions only change at mobility steps, the cache is
+    exact.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        *,
+        base_latency: float = 5e-4,
+        latency_jitter: float = 2e-4,
+        loss_rate: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._sim = sim
+        self._rng = streams.get("channel")
+        self._loss_rng = streams.get("channel-loss")
+        self.base_latency = base_latency
+        self.latency_jitter = latency_jitter
+        #: Independent per-receiver frame-loss probability (fading model).
+        self.loss_rate = loss_rate
+        self._interfaces: List[RadioInterface] = []
+        self._index_of: Dict[int, int] = {}
+        self._obstructions: List[Callable[[Position, Position], bool]] = []
+        #: (end_time, x, y, range) of recent transmissions, for carrier sense.
+        self._active_tx: List[tuple] = []
+        self._positions_dirty = True
+        self._xs = np.empty(0)
+        self._ys = np.empty(0)
+        self._link_overrides = np.empty(0)
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, iface: RadioInterface) -> None:
+        """Attach an interface to the medium."""
+        if iface.address in self._index_of:
+            raise ValueError(f"address {iface.address} already registered")
+        iface.channel = self
+        self._index_of[iface.address] = len(self._interfaces)
+        self._interfaces.append(iface)
+        self._positions_dirty = True
+
+    def unregister(self, iface: RadioInterface) -> None:
+        """Detach an interface (e.g. a vehicle leaving the road)."""
+        idx = self._index_of.pop(iface.address, None)
+        if idx is None:
+            return
+        self._interfaces.pop(idx)
+        self._index_of = {
+            member.address: i for i, member in enumerate(self._interfaces)
+        }
+        iface.channel = None
+        self._positions_dirty = True
+
+    @property
+    def interfaces(self) -> tuple:
+        """A snapshot of currently registered interfaces."""
+        return tuple(self._interfaces)
+
+    def add_obstruction(
+        self, blocks: Callable[[Position, Position], bool]
+    ) -> None:
+        """Register a link obstruction predicate (True means link blocked)."""
+        self._obstructions.append(blocks)
+
+    def invalidate_positions(self) -> None:
+        """Mark the cached position arrays stale (call after mobility steps)."""
+        self._positions_dirty = True
+
+    def _refresh_positions(self) -> None:
+        n = len(self._interfaces)
+        xs = np.empty(n)
+        ys = np.empty(n)
+        link = np.full(n, np.nan)
+        for i, iface in enumerate(self._interfaces):
+            pos = iface.get_position()
+            xs[i] = pos.x
+            ys[i] = pos.y
+            if iface.link_range is not None:
+                link[i] = iface.link_range
+        self._xs, self._ys, self._link_overrides = xs, ys, link
+        self._positions_dirty = False
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        sender: RadioInterface,
+        kind: FrameKind,
+        payload,
+        *,
+        dest_addr: Optional[int] = None,
+        tx_range: Optional[float] = None,
+    ) -> Frame:
+        """Send a frame and schedule its deliveries.
+
+        Returns the frame (so callers, e.g. attackers, can track it).
+        """
+        tx_pos = sender.get_position()
+        eff_range = sender.tx_range if tx_range is None else float(tx_range)
+        frame = Frame(
+            kind=kind,
+            sender_addr=sender.address,
+            payload=payload,
+            tx_position=tx_pos,
+            tx_range=eff_range,
+            tx_time=self._sim.now,
+            dest_addr=dest_addr,
+        )
+        self.stats.record_sent(kind)
+        self._active_tx.append(
+            (self._sim.now + self.base_latency, tx_pos.x, tx_pos.y, eff_range)
+        )
+        receivers = self._receivers_for(frame, sender)
+        if frame.dest_addr is not None and not any(
+            iface.address == frame.dest_addr for iface in receivers
+        ):
+            self.stats.unicast_lost += 1
+        delivered = 0
+        for iface in receivers:
+            if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+                self.stats.frames_faded += 1
+                continue
+            delivered += 1
+            latency = self.base_latency + self._rng.uniform(0, self.latency_jitter)
+            self._sim.schedule(latency, iface.deliver, frame)
+        self.stats.record_delivered(kind, delivered)
+        return frame
+
+    def _receivers_for(
+        self, frame: Frame, sender: RadioInterface
+    ) -> List[RadioInterface]:
+        if self._positions_dirty:
+            self._refresh_positions()
+        if len(self._interfaces) == 0:
+            return []
+        dx = self._xs - frame.tx_position.x
+        dy = self._ys - frame.tx_position.y
+        dist_sq = dx * dx + dy * dy
+        reach = np.where(
+            np.isnan(self._link_overrides), frame.tx_range, self._link_overrides
+        )
+        hearable = dist_sq <= reach * reach
+        receivers: List[RadioInterface] = []
+        for i in np.flatnonzero(hearable):
+            iface = self._interfaces[i]
+            if iface is sender:
+                continue
+            if frame.dest_addr is not None:
+                if iface.address != frame.dest_addr and not iface.promiscuous:
+                    continue
+            if self._is_blocked(frame.tx_position, iface):
+                continue
+            receivers.append(iface)
+        return receivers
+
+    def medium_busy(self, position: Position) -> bool:
+        """Carrier sense: is a transmission audible at ``position`` right now?
+
+        CSMA is what guarantees one forwarder per CBF contention round in
+        real radios: a contender whose timer expires during a peer's
+        transmission defers, receives the duplicate, and cancels.
+        """
+        now = self._sim.now
+        if self._active_tx:
+            self._active_tx = [tx for tx in self._active_tx if tx[0] > now]
+        for _end, x, y, tx_range in self._active_tx:
+            dx = position.x - x
+            dy = position.y - y
+            if dx * dx + dy * dy <= tx_range * tx_range:
+                return True
+        return False
+
+    def _is_blocked(self, tx_position: Position, receiver: RadioInterface) -> bool:
+        if not self._obstructions:
+            return False
+        rx_position = receiver.get_position()
+        return any(blocks(tx_position, rx_position) for blocks in self._obstructions)

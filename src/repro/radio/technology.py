@@ -1,0 +1,75 @@
+"""Vehicle communication technologies and their measured ranges (Table II).
+
+The ranges come from the Utah DOT field test the paper cites: median
+line-of-sight (LoS), median non-line-of-sight (NLoS) and worst-case NLoS.
+The paper uses the NLoS-median range for vehicle-to-vehicle links (trucks
+block LoS between sedans on a highway) and lets the attacker raise its power
+up to the LoS-median range.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RangeClass(enum.Enum):
+    """Which measured range to use for a link."""
+
+    LOS_MEDIAN = "mL"
+    NLOS_MEDIAN = "mN"
+    NLOS_WORST = "wN"
+
+
+@dataclass(frozen=True)
+class RadioTechnology:
+    """An access-layer technology with its measured communication ranges."""
+
+    name: str
+    los_median_m: float
+    nlos_median_m: float
+    nlos_worst_m: float
+
+    def __post_init__(self):
+        if not (0 < self.nlos_worst_m <= self.nlos_median_m <= self.los_median_m):
+            raise ValueError(
+                f"{self.name}: ranges must satisfy 0 < worst-NLoS <= median-NLoS"
+                f" <= median-LoS"
+            )
+
+    def range_for(self, range_class: RangeClass) -> float:
+        """The range in metres for the given :class:`RangeClass`."""
+        if range_class is RangeClass.LOS_MEDIAN:
+            return self.los_median_m
+        if range_class is RangeClass.NLOS_MEDIAN:
+            return self.nlos_median_m
+        return self.nlos_worst_m
+
+    @property
+    def vehicle_range_m(self) -> float:
+        """The vehicle-to-vehicle range used in the paper (median NLoS)."""
+        return self.nlos_median_m
+
+    @property
+    def max_range_m(self) -> float:
+        """DIST_MAX for CBF: the theoretical maximum communication range.
+
+        EN 302 636-4-1 defines DIST_MAX as the maximum range of the access
+        technology; we use the median LoS range, the largest value the field
+        test reports.
+        """
+        return self.los_median_m
+
+
+#: Dedicated Short Range Communications (ASTM E2213-03), Table II row values.
+DSRC = RadioTechnology(
+    name="DSRC", los_median_m=1283.0, nlos_median_m=486.0, nlos_worst_m=327.0
+)
+
+#: Cellular V2X (ETSI EN 303 613), Table II row values.
+CV2X = RadioTechnology(
+    name="C-V2X", los_median_m=1703.0, nlos_median_m=593.0, nlos_worst_m=359.0
+)
+
+#: Lookup by name, used by the experiment CLI.
+TECHNOLOGIES = {tech.name: tech for tech in (DSRC, CV2X)}

@@ -1,0 +1,32 @@
+"""Certificates and node credentials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA-issued certificate binding a subject to a public token.
+
+    ``ca_signature`` is produced by the issuing CA over
+    ``(subject_id, public_token)`` and can be checked by anyone who trusts
+    the CA.
+    """
+
+    subject_id: str
+    public_token: str
+    ca_name: str
+    ca_signature: str
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """A node's certificate plus its private token.
+
+    The private token never travels on the channel; it stands in for the
+    private key of the real system.
+    """
+
+    certificate: Certificate
+    private_token: str

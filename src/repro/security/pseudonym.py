@@ -1,0 +1,41 @@
+"""Pseudonymous link-layer addresses.
+
+ETSI allows personal vehicles to use pseudonyms to hide their identity.  The
+same mechanism lets the attacker transmit with throwaway addresses — privacy
+protection is one of the levers of both attacks ("use a pseudonym ... to
+conceal its identity while sending the same or modified packet").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Set
+
+#: Pseudonymous addresses live above the statically-allocated range.
+PSEUDONYM_FLOOR = 1 << 32
+
+
+class PseudonymPool:
+    """Draws unique pseudonymous link-layer addresses."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._used: Set[int] = set()
+
+    def draw(self) -> int:
+        """Return a fresh pseudonymous address."""
+        while True:
+            address = self._rng.randrange(PSEUDONYM_FLOOR, PSEUDONYM_FLOOR << 16)
+            if address not in self._used:
+                self._used.add(address)
+                return address
+
+    @property
+    def issued(self) -> int:
+        """How many pseudonyms have been drawn."""
+        return len(self._used)
+
+    @staticmethod
+    def is_pseudonym(address: int) -> bool:
+        """Whether an address is from the pseudonymous range."""
+        return address >= PSEUDONYM_FLOOR

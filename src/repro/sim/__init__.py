@@ -1,0 +1,23 @@
+"""Discrete-event simulation engine.
+
+This package provides the simulation substrate used by every other layer:
+an event queue with a floating-point clock (:class:`~repro.sim.engine.Simulator`),
+cancellable event handles (:class:`~repro.sim.events.EventHandle`), periodic
+processes (:func:`~repro.sim.process.every`), and deterministic named random
+streams (:class:`~repro.sim.random.RandomStreams`).
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import PeriodicProcess, every
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "PeriodicProcess",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "every",
+]

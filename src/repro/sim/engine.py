@@ -1,0 +1,149 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the clock and the event heap.  All other subsystems
+(mobility, radio, GeoNetworking timers, attackers) schedule work through it,
+which makes whole-system runs deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventHandle
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "hello at t=1")
+        sim.run_until(10.0)
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        event = Event(time=float(time), priority=priority, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events up to and including ``end_time``; advance clock to it.
+
+        Events scheduled exactly at ``end_time`` fire.  Events beyond it stay
+        queued so the simulation can be resumed.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time:.6f} is before now {self._now:.6f}"
+            )
+        self._stopped = False
+        self._running = True
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.time > end_time:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_fired += 1
+                event.fire()
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Run until the event heap is exhausted or :meth:`stop` is called."""
+        self._stopped = False
+        self._running = True
+        try:
+            while self._heap and not self._stopped:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_fired += 1
+                event.fire()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run`/:meth:`run_until` after this event."""
+        self._stopped = True

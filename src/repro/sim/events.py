@@ -1,0 +1,56 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` couples a firing time with a callback.  Events are totally
+ordered by ``(time, priority, seq)`` so that simultaneous events fire in a
+deterministic order: lower ``priority`` first, then insertion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by ``(time, priority, seq)``."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+
+class EventHandle:
+    """A cancellation token for a scheduled event.
+
+    Holding a handle lets protocol code cancel a pending timer (e.g. a CBF
+    contention timer) without the engine having to search its heap; cancelled
+    events are skipped lazily when popped.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulation time at which the event is due to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

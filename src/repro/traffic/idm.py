@@ -1,0 +1,115 @@
+"""The Intelligent Driver Model (IDM).
+
+Car-following model used by the paper for all vehicles, with the exact
+parameters of Table I.  The acceleration of a vehicle at speed ``v`` with a
+net bumper-to-bumper gap ``s`` to a leader at speed ``v_lead`` is
+
+    a = a_max * (1 - (v / v0)^delta - (s*(v, dv) / s)^2)
+    s*(v, dv) = s0 + max(0, v*T + v*dv / (2*sqrt(a_max*b)))
+
+where ``dv = v - v_lead`` is the approach rate, ``v0`` the desired velocity,
+``T`` the safe time headway, ``b`` the comfortable deceleration, ``delta``
+the acceleration exponent and ``s0`` the minimum distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IdmParameters:
+    """IDM parameters; defaults are Table I of the paper."""
+
+    desired_velocity: float = 30.0  # m/s
+    safe_time_headway: float = 1.5  # s
+    max_acceleration: float = 1.0  # m/s^2
+    comfortable_deceleration: float = 3.0  # m/s^2
+    acceleration_exponent: float = 4.0
+    minimum_distance: float = 2.0  # m
+    vehicle_length: float = 4.5  # m
+
+    def __post_init__(self):
+        for name in (
+            "desired_velocity",
+            "safe_time_headway",
+            "max_acceleration",
+            "comfortable_deceleration",
+            "minimum_distance",
+            "vehicle_length",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.acceleration_exponent < 1:
+            raise ValueError("acceleration_exponent must be >= 1")
+
+
+def desired_gap(speed: float, approach_rate: float, params: IdmParameters) -> float:
+    """The IDM dynamic desired gap s*(v, dv)."""
+    dynamic = speed * params.safe_time_headway + (
+        speed
+        * approach_rate
+        / (
+            2.0
+            * math.sqrt(params.max_acceleration * params.comfortable_deceleration)
+        )
+    )
+    return params.minimum_distance + max(0.0, dynamic)
+
+
+def idm_acceleration(
+    speed: float,
+    gap: float,
+    lead_speed: float,
+    params: IdmParameters,
+) -> float:
+    """IDM acceleration for one vehicle.
+
+    ``gap`` is the net distance to the leader's rear bumper; pass
+    ``math.inf`` for a free road (no leader).
+    """
+    free_term = (speed / params.desired_velocity) ** params.acceleration_exponent
+    if math.isinf(gap):
+        interaction = 0.0
+    else:
+        gap = max(gap, 1e-6)  # avoid division blow-up when bumper-to-bumper
+        interaction = (desired_gap(speed, speed - lead_speed, params) / gap) ** 2
+    return params.max_acceleration * (1.0 - free_term - interaction)
+
+
+def idm_acceleration_array(
+    speeds: np.ndarray,
+    gaps: np.ndarray,
+    lead_speeds: np.ndarray,
+    params: IdmParameters,
+    desired_velocities: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorised IDM acceleration; ``np.inf`` gaps mean a free road.
+
+    ``desired_velocities`` optionally overrides the shared desired velocity
+    per vehicle (driver heterogeneity).
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    gaps = np.asarray(gaps, dtype=float)
+    lead_speeds = np.asarray(lead_speeds, dtype=float)
+    v0 = (
+        params.desired_velocity
+        if desired_velocities is None
+        else np.asarray(desired_velocities, dtype=float)
+    )
+    free_term = (speeds / v0) ** params.acceleration_exponent
+    dynamic = speeds * params.safe_time_headway + (
+        speeds
+        * (speeds - lead_speeds)
+        / (2.0 * np.sqrt(params.max_acceleration * params.comfortable_deceleration))
+    )
+    s_star = params.minimum_distance + np.maximum(0.0, dynamic)
+    safe_gaps = np.maximum(gaps, 1e-6)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        interaction = np.where(
+            np.isinf(gaps), 0.0, (s_star / safe_gaps) ** 2
+        )
+    return params.max_acceleration * (1.0 - free_term - interaction)

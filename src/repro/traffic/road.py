@@ -1,0 +1,107 @@
+"""Road geometry: lanes, directions and the road segment.
+
+The paper's default scenario is a 4 000 m segment with two 5 m lanes per
+direction; vehicles travel along +x (eastbound) or -x (westbound).  Lane
+centre-lines are stacked along +y, eastbound lanes first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Direction(enum.IntEnum):
+    """Direction of travel along the road axis."""
+
+    EAST = 1
+    WEST = -1
+
+    @property
+    def heading(self) -> float:
+        """Heading in radians for a PV (+x is 0, -x is pi)."""
+        import math
+
+        return 0.0 if self is Direction.EAST else math.pi
+
+
+@dataclass(frozen=True)
+class Lane:
+    """A single lane: an index, a centre-line y, a direction and the length
+    of the road it belongs to (needed to measure westbound progress)."""
+
+    index: int
+    y: float
+    direction: Direction
+    road_length: float
+
+    def entrance_x(self) -> float:
+        """Where vehicles enter: x=0 eastbound, x=length westbound."""
+        return 0.0 if self.direction is Direction.EAST else self.road_length
+
+    def progress(self, x: float) -> float:
+        """Distance travelled from the entrance for a vehicle at ``x``."""
+        return x if self.direction is Direction.EAST else self.road_length - x
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A straight multi-lane road segment starting at x=0."""
+
+    length: float = 4000.0
+    lanes_per_direction: int = 2
+    lane_width: float = 5.0
+    directions: int = 1
+    lanes: List[Lane] = field(default_factory=list, compare=False)
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError("road length must be positive")
+        if self.lanes_per_direction < 1:
+            raise ValueError("need at least one lane per direction")
+        if self.directions not in (1, 2):
+            raise ValueError("directions must be 1 or 2")
+        lanes: List[Lane] = []
+        index = 0
+        for lane_i in range(self.lanes_per_direction):
+            y = (lane_i + 0.5) * self.lane_width
+            lanes.append(
+                Lane(
+                    index=index,
+                    y=y,
+                    direction=Direction.EAST,
+                    road_length=self.length,
+                )
+            )
+            index += 1
+        if self.directions == 2:
+            for lane_i in range(self.lanes_per_direction):
+                y = (self.lanes_per_direction + lane_i + 0.5) * self.lane_width
+                lanes.append(
+                    Lane(
+                        index=index,
+                        y=y,
+                        direction=Direction.WEST,
+                        road_length=self.length,
+                    )
+                )
+                index += 1
+        object.__setattr__(self, "lanes", lanes)
+
+    @property
+    def total_width(self) -> float:
+        """Total paved width across all lanes."""
+        return self.lanes_per_direction * self.directions * self.lane_width
+
+    @property
+    def eastbound_lanes(self) -> List[Lane]:
+        return [lane for lane in self.lanes if lane.direction is Direction.EAST]
+
+    @property
+    def westbound_lanes(self) -> List[Lane]:
+        return [lane for lane in self.lanes if lane.direction is Direction.WEST]
+
+    def contains_x(self, x: float) -> bool:
+        """Whether ``x`` is on the segment."""
+        return 0.0 <= x <= self.length

@@ -1,0 +1,294 @@
+"""The traffic microsimulation loop.
+
+Advances every vehicle with vectorised IDM on a fixed time step (100 ms by
+default), handles hazards as virtual stationary leaders, spawns vehicles at
+entrances and retires vehicles that leave the segment.  Networking layers
+subscribe via ``on_spawn`` / ``on_exit`` / ``on_step`` callbacks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.traffic.hazard import HazardEvent
+from repro.traffic.idm import IdmParameters, idm_acceleration_array
+from repro.traffic.road import Direction, Lane, RoadSegment
+from repro.traffic.spawner import EntranceSpawner
+from repro.traffic.vehicle import Vehicle
+
+#: Mobility events run before same-time network events.
+MOBILITY_PRIORITY = -10
+
+
+class TrafficSimulation:
+    """Owns all vehicles and advances them each time step."""
+
+    def __init__(
+        self,
+        road: RoadSegment,
+        params: Optional[IdmParameters] = None,
+        *,
+        dt: float = 0.1,
+        spawner: Optional[EntranceSpawner] = None,
+        rng=None,
+        speed_factor_spread: float = 0.03,
+        runout: float = 0.0,
+    ):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if speed_factor_spread < 0 or speed_factor_spread >= 1:
+            raise ValueError("speed_factor_spread must be in [0, 1)")
+        if runout < 0:
+            raise ValueError("runout must be non-negative")
+        self.road = road
+        self.params = params or IdmParameters()
+        self.dt = dt
+        self.spawner = spawner
+        #: Source of driver heterogeneity (speed preferences, initial
+        #: placement jitter).  None gives perfectly homogeneous traffic,
+        #: which is only appropriate for unit tests — homogeneous lanes put
+        #: vehicles radio-symmetrically and break contention-based protocols
+        #: in ways real traffic does not.
+        self._rng = rng
+        self._speed_factor_spread = speed_factor_spread
+        #: Vehicles keep driving this many metres past the segment before
+        #: they are retired.  The world beyond a simulated road segment is
+        #: not empty: without a runout, location-table entries of vehicles
+        #: that just "fell off the edge" poison greedy forwarding near the
+        #: road ends in a way that has no physical counterpart.
+        self.runout = runout
+        self.hazards: List[HazardEvent] = []
+        #: vehicles per lane index, sorted by progress ascending
+        #: (the last element is the furthest along, nearest the exit).
+        self._lanes: Dict[int, List[Vehicle]] = {
+            lane.index: [] for lane in road.lanes
+        }
+        self.on_spawn: List[Callable[[Vehicle], None]] = []
+        self.on_exit: List[Callable[[Vehicle], None]] = []
+        self.on_step: List[Callable[[float], None]] = []
+        self.rear_end_contacts = 0
+        self._process: Optional[PeriodicProcess] = None
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_vehicle(self, vehicle: Vehicle) -> None:
+        """Insert a vehicle keeping the lane sorted by progress."""
+        lane_vehicles = self._lanes[vehicle.lane.index]
+        lane_vehicles.append(vehicle)
+        lane_vehicles.sort(key=lambda v: v.progress)
+        for callback in self.on_spawn:
+            callback(vehicle)
+
+    def _draw_speed_factor(self) -> float:
+        if self._rng is None or self._speed_factor_spread == 0:
+            return 1.0
+        spread = self._speed_factor_spread
+        return 1.0 + self._rng.uniform(-spread, spread)
+
+    def populate(self, spacing: float, speed: float = 30.0) -> int:
+        """Pre-fill every lane with vehicles ``spacing`` metres apart.
+
+        Returns the number of vehicles created.  This realises the paper's
+        "vehicles are 30 meters apart" default density from t=0.  With an
+        rng attached, adjacent lanes are phase-staggered by half a spacing
+        and every slot is jittered by up to a quarter spacing, as in real
+        traffic (and as needed to avoid radio-symmetric vehicle pairs).
+        """
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        created = 0
+        for lane_order, lane in enumerate(self.road.lanes):
+            n = int(self.road.length // spacing)
+            stagger = (lane_order % 2) * spacing / 2 if self._rng is not None else 0.0
+            for k in range(n + 1):
+                progress = k * spacing + stagger
+                if self._rng is not None:
+                    progress += self._rng.uniform(-0.25, 0.25) * spacing
+                progress = min(max(progress, 0.0), self.road.length)
+                x = (
+                    progress
+                    if lane.direction is Direction.EAST
+                    else self.road.length - progress
+                )
+                vehicle = Vehicle(
+                    lane=lane,
+                    x=x,
+                    speed=speed,
+                    length=self.params.vehicle_length,
+                    entered_at=self._now,
+                    speed_factor=self._draw_speed_factor(),
+                )
+                self._lanes[lane.index].append(vehicle)
+                created += 1
+        for lane_vehicles in self._lanes.values():
+            lane_vehicles.sort(key=lambda v: v.progress)
+        for lane_vehicles in self._lanes.values():
+            for vehicle in lane_vehicles:
+                for callback in self.on_spawn:
+                    callback(vehicle)
+        return created
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vehicles(
+        self, direction: Optional[Direction] = None, *, on_road_only: bool = False
+    ) -> Iterable[Vehicle]:
+        """Iterate active vehicles, optionally filtered by direction.
+
+        ``on_road_only`` excludes vehicles in the runout zone beyond the
+        segment (they still drive and keep their radios on).
+        """
+        for lane in self.road.lanes:
+            if direction is not None and lane.direction is not direction:
+                continue
+            for vehicle in self._lanes[lane.index]:
+                if on_road_only and vehicle.progress > self.road.length:
+                    continue
+                yield vehicle
+
+    def count_on_road(self, direction: Optional[Direction] = None) -> int:
+        """Number of vehicles on the segment proper (runout excluded)."""
+        return sum(1 for _ in self.vehicles(direction, on_road_only=True))
+
+    def lane_vehicles(self, lane: Lane) -> List[Vehicle]:
+        """The (sorted) vehicles currently in ``lane``."""
+        return list(self._lanes[lane.index])
+
+    # ------------------------------------------------------------------
+    # hazards
+    # ------------------------------------------------------------------
+    def add_hazard(self, hazard: HazardEvent) -> None:
+        """Register a hazard event (it activates at its start time)."""
+        self.hazards.append(hazard)
+
+    def _hazard_progress(self, lane: Lane, now: float) -> float:
+        """Progress of the nearest active hazard in ``lane`` (inf if none)."""
+        best = math.inf
+        for hazard in self.hazards:
+            if hazard.blocks(lane.direction, now):
+                best = min(best, lane.progress(hazard.x))
+        return best
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> None:
+        """Advance all vehicles by one ``dt`` and run spawning/exits."""
+        self._now = now
+        for lane in self.road.lanes:
+            self._step_lane(lane, now)
+        self._retire_exited()
+        self._spawn(now)
+        for callback in self.on_step:
+            callback(now)
+
+    def _step_lane(self, lane: Lane, now: float) -> None:
+        lane_vehicles = self._lanes[lane.index]
+        if not lane_vehicles:
+            return
+        n = len(lane_vehicles)
+        progress = np.array([v.progress for v in lane_vehicles])
+        speeds = np.array([v.speed for v in lane_vehicles])
+        lengths = np.array([v.length for v in lane_vehicles])
+        gaps = np.full(n, np.inf)
+        lead_speeds = np.zeros(n)
+        if n > 1:
+            gaps[:-1] = (
+                progress[1:] - progress[:-1] - (lengths[1:] + lengths[:-1]) / 2
+            )
+            lead_speeds[:-1] = speeds[1:]
+        hazard_progress = self._hazard_progress(lane, now)
+        if math.isfinite(hazard_progress):
+            behind = progress < hazard_progress
+            if behind.any():
+                # The closest vehicle behind the hazard brakes for it; the
+                # rest follow their real leaders (who queue up in turn).
+                leader_idx = int(np.flatnonzero(behind)[-1])
+                hazard_gap = (
+                    hazard_progress
+                    - progress[leader_idx]
+                    - lengths[leader_idx] / 2
+                )
+                if hazard_gap < gaps[leader_idx]:
+                    gaps[leader_idx] = hazard_gap
+                    lead_speeds[leader_idx] = 0.0
+        desired = self.params.desired_velocity * np.array(
+            [v.speed_factor for v in lane_vehicles]
+        )
+        accel = idm_acceleration_array(
+            speeds, gaps, lead_speeds, self.params, desired_velocities=desired
+        )
+        for i, vehicle in enumerate(lane_vehicles):
+            if vehicle.forced_acceleration is not None:
+                accel[i] = vehicle.forced_acceleration
+        new_speeds = np.maximum(0.0, speeds + accel * self.dt)
+        new_progress = progress + new_speeds * self.dt
+        # Hard anti-overlap guard: IDM with sane parameters never rear-ends,
+        # but forced profiles or extreme spawns could; count and clamp.
+        for i in range(n - 2, -1, -1):
+            limit = new_progress[i + 1] - (lengths[i + 1] + lengths[i]) / 2 - 0.1
+            if new_progress[i] > limit:
+                self.rear_end_contacts += 1
+                new_progress[i] = limit
+                new_speeds[i] = min(new_speeds[i], new_speeds[i + 1])
+        for i, vehicle in enumerate(lane_vehicles):
+            vehicle.speed = float(new_speeds[i])
+            vehicle.x = (
+                float(new_progress[i])
+                if lane.direction is Direction.EAST
+                else self.road.length - float(new_progress[i])
+            )
+
+    def _retire_exited(self) -> None:
+        retire_at = self.road.length + self.runout
+        for lane in self.road.lanes:
+            lane_vehicles = self._lanes[lane.index]
+            while lane_vehicles and lane_vehicles[-1].progress > retire_at:
+                vehicle = lane_vehicles.pop()
+                vehicle.active = False
+                for callback in self.on_exit:
+                    callback(vehicle)
+
+    def _spawn(self, now: float) -> None:
+        if self.spawner is None:
+            return
+        for lane in self.road.lanes:
+            lane_vehicles = self._lanes[lane.index]
+            nearest = lane_vehicles[0].progress if lane_vehicles else math.inf
+            if self.spawner.may_spawn(lane, nearest):
+                vehicle = Vehicle(
+                    lane=lane,
+                    x=lane.entrance_x(),
+                    speed=self.spawner.entry_speed,
+                    length=self.params.vehicle_length,
+                    entered_at=now,
+                    speed_factor=self._draw_speed_factor(),
+                )
+                lane_vehicles.insert(0, vehicle)
+                self.spawner.spawned_count += 1
+                for callback in self.on_spawn:
+                    callback(vehicle)
+
+    # ------------------------------------------------------------------
+    # engine integration
+    # ------------------------------------------------------------------
+    def start(self, sim: Simulator) -> PeriodicProcess:
+        """Schedule the mobility loop on the event engine."""
+        if self._process is not None:
+            raise RuntimeError("traffic simulation already started")
+        self._process = PeriodicProcess(
+            sim,
+            self.dt,
+            lambda: self.step(sim.now),
+            start_delay=self.dt,
+            priority=MOBILITY_PRIORITY,
+        )
+        return self._process

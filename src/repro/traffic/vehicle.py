@@ -1,0 +1,88 @@
+"""Vehicle state.
+
+A :class:`Vehicle` is pure kinematic state — position along the road, speed,
+lane — advanced by :class:`~repro.traffic.simulation.TrafficSimulation`.
+The networking layer reads positions through the ``position`` property, so a
+GeoNode's view is always consistent with the mobility state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geo.position import Position, PositionVector
+from repro.traffic.road import Direction, Lane
+
+_vehicle_counter = itertools.count(1)
+
+
+@dataclass
+class Vehicle:
+    """A vehicle on the road."""
+
+    lane: Lane
+    x: float
+    speed: float
+    length: float = 4.5
+    vehicle_id: int = field(default_factory=lambda: next(_vehicle_counter))
+    active: bool = True
+    entered_at: float = 0.0
+    #: Per-driver preference multiplier on the IDM desired velocity; real
+    #: traffic is never perfectly homogeneous, and homogeneity creates
+    #: degenerate radio symmetry (identical CBF timers in adjacent lanes).
+    speed_factor: float = 1.0
+    #: When set, the vehicle ignores IDM and applies this fixed acceleration
+    #: (used by the road-safety curve scenario's prescribed speed profiles).
+    forced_acceleration: Optional[float] = None
+
+    def __post_init__(self):
+        if self.speed < 0:
+            raise ValueError("speed must be non-negative")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+
+    @property
+    def direction(self) -> Direction:
+        """Direction of travel (from the lane)."""
+        return self.lane.direction
+
+    @property
+    def position(self) -> Position:
+        """Current position in the road plane."""
+        return Position(self.x, self.lane.y)
+
+    @property
+    def heading(self) -> float:
+        """Heading in radians."""
+        return self.lane.direction.heading
+
+    @property
+    def progress(self) -> float:
+        """Distance travelled from the lane entrance."""
+        return self.lane.progress(self.x)
+
+    def position_vector(self, now: float) -> PositionVector:
+        """The PV this vehicle would advertise in a beacon right now."""
+        return PositionVector(
+            position=self.position,
+            speed=self.speed,
+            heading=self.heading,
+            timestamp=now,
+        )
+
+    def front_x(self) -> float:
+        """x-coordinate of the front bumper."""
+        return self.x + (self.length / 2) * self.direction.value
+
+    def rear_x(self) -> float:
+        """x-coordinate of the rear bumper."""
+        return self.x - (self.length / 2) * self.direction.value
+
+    def gap_to(self, leader: "Vehicle") -> float:
+        """Net bumper-to-bumper gap to a leader in the same lane."""
+        return (
+            self.direction.value * (leader.x - self.x)
+            - (self.length + leader.length) / 2
+        )

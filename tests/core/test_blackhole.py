@@ -1,0 +1,145 @@
+"""Tests for the insider blackhole baseline vs the outsider variant."""
+
+import pytest
+
+from repro.core.attacks.blackhole import InsiderBlackhole, OutsiderBlackhole
+from repro.geo.areas import CircularArea
+from repro.geo.position import Position
+
+DEST_CENTER = Position(2000.0, 0.0)
+DEST = CircularArea(DEST_CENTER, 30.0)
+
+
+def deploy_insider(testbed, **kwargs):
+    kwargs.setdefault("advertised_position", Position(800.0, 0.0))
+    return InsiderBlackhole(
+        sim=testbed.sim,
+        channel=testbed.channel,
+        streams=testbed.streams,
+        position=Position(200.0, -10.0),
+        credentials=testbed.ca.enroll("compromised-vehicle"),
+        **kwargs,
+    )
+
+
+def deploy_outsider(testbed, **kwargs):
+    kwargs.setdefault("advertised_position", Position(800.0, 0.0))
+    return OutsiderBlackhole(
+        sim=testbed.sim,
+        channel=testbed.channel,
+        streams=testbed.streams,
+        position=Position(200.0, -10.0),
+        **kwargs,
+    )
+
+
+def test_insider_forged_beacon_enters_victim_loct(testbed):
+    victim = testbed.add_node(0.0)
+    attacker = deploy_insider(testbed)
+    testbed.warm_up()
+    entry = victim.router.loct.get(attacker.iface.address, testbed.sim.now)
+    assert entry is not None
+    assert entry.position == Position(800.0, 0.0)  # the lie, not the truth
+
+
+def test_outsider_forged_beacon_rejected(testbed):
+    victim = testbed.add_node(0.0)
+    attacker = deploy_outsider(testbed)
+    testbed.warm_up()
+    assert victim.router.loct.get(attacker.iface.address, testbed.sim.now) is None
+    assert victim.router.stats.beacons_rejected_auth > 0
+    assert attacker.beacons_forged > 0
+
+
+def test_insider_attracts_and_drops_packets(testbed):
+    victim = testbed.add_node(0.0)
+    honest_relay = testbed.add_node(400.0)
+    attacker = deploy_insider(testbed)
+    got = []
+    honest_relay.router.on_deliver.append(lambda n, p: got.append(p))
+    testbed.warm_up()
+    victim.originate(DEST, "valuables")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    # The fake 800 m position beats the honest relay at 400 m.
+    assert attacker.packets_attracted == 1
+    assert attacker.packets_dropped == 1
+    assert got == []
+
+
+def test_outsider_blackhole_attracts_nothing(testbed):
+    victim = testbed.add_node(0.0)
+    testbed.add_node(400.0)
+    attacker = deploy_outsider(testbed)
+    testbed.warm_up()
+    victim.originate(DEST, "valuables")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    assert attacker.packets_attracted == 0
+    assert victim.router.stats.gf_forwards == 1  # went to the honest relay
+
+
+def test_grayhole_sometimes_forwards(testbed):
+    victim = testbed.add_node(0.0)
+    attacker = deploy_insider(testbed, grayhole_forward_probability=1.0)
+    testbed.warm_up()
+    victim.originate(DEST, "sampled")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    assert attacker.packets_forwarded == 1
+    assert attacker.packets_dropped == 0
+
+
+def test_plausibility_check_also_blocks_the_insider(make_testbed):
+    """The paper's §V-A defence helps against this baseline too when the
+    forged position is out of plausible range."""
+    from repro.geonet.config import GeoNetConfig
+    from repro.radio.technology import DSRC
+
+    config = GeoNetConfig(
+        dist_max=DSRC.max_range_m,
+        plausibility_check=True,
+        plausibility_threshold=DSRC.nlos_median_m,
+    )
+    testbed = make_testbed(config=config)
+    victim = testbed.add_node(0.0)
+    honest_relay = testbed.add_node(400.0)
+    attacker = deploy_insider(
+        testbed, advertised_position=Position(900.0, 0.0)
+    )
+    testbed.warm_up()
+    victim.originate(DEST, "protected")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    assert attacker.packets_attracted == 0
+    assert victim.router.gf.stats.plausibility_rejections >= 1
+    # The packet went to the honest relay instead (which, having no further
+    # in-range candidate toward the far-away area, holds and re-checks).
+    assert victim.router.stats.gf_forwards == 1
+    assert (
+        honest_relay.router.stats.gf_forwards
+        + honest_relay.router.stats.gf_rechecks
+        >= 1
+    )
+
+
+def test_invalid_grayhole_probability_rejected(testbed):
+    with pytest.raises(ValueError):
+        deploy_insider(testbed, grayhole_forward_probability=1.5)
+
+
+def test_insider_requires_credentials(testbed):
+    with pytest.raises(ValueError):
+        InsiderBlackhole(
+            sim=testbed.sim,
+            channel=testbed.channel,
+            streams=testbed.streams,
+            position=Position(0, 0),
+            advertised_position=Position(10, 0),
+            credentials=None,
+        )
+
+
+def test_stop_takes_blackhole_off_air(testbed):
+    attacker = deploy_insider(testbed)
+    testbed.warm_up()
+    forged = attacker.beacons_forged
+    attacker.stop()
+    testbed.sim.run_until(testbed.sim.now + 10.0)
+    assert attacker.beacons_forged == forged

@@ -1,0 +1,83 @@
+"""Tests for the mitigation enablers and their end-to-end effect (§V)."""
+
+import pytest
+
+from repro.core.mitigations import (
+    duplicate_rhl_plausible,
+    enable_plausibility_check,
+    enable_rhl_check,
+    position_plausible,
+)
+from repro.geonet.config import GeoNetConfig
+
+
+def test_enable_plausibility_check_defaults():
+    config = enable_plausibility_check(GeoNetConfig())
+    assert config.plausibility_check
+    assert config.plausibility_threshold == 486.0
+
+
+def test_enable_plausibility_check_custom_threshold():
+    config = enable_plausibility_check(GeoNetConfig(), threshold=593.0)
+    assert config.plausibility_threshold == 593.0
+
+
+def test_enable_rhl_check_defaults():
+    config = enable_rhl_check(GeoNetConfig())
+    assert config.rhl_check
+    assert config.rhl_drop_threshold == 3
+
+
+def test_enable_rhl_check_custom_threshold():
+    config = enable_rhl_check(GeoNetConfig(), threshold=5)
+    assert config.rhl_drop_threshold == 5
+
+
+def test_enablers_do_not_mutate_input():
+    base = GeoNetConfig()
+    enable_plausibility_check(base)
+    enable_rhl_check(base)
+    assert not base.plausibility_check
+    assert not base.rhl_check
+
+
+def test_reexported_predicates_are_the_stack_predicates():
+    from repro.geonet import checks
+
+    assert position_plausible is checks.position_plausible
+    assert duplicate_rhl_plausible is checks.duplicate_rhl_plausible
+
+
+def test_plausibility_check_blocks_inter_area_attack_end_to_end(make_testbed):
+    """Figure 4 scenario, with the §V-A check switched on: V1 skips the
+    poisoned V3 entry and the packet flows through V2."""
+    from repro.core.attacks import InterAreaInterceptor
+    from repro.geo.areas import CircularArea
+    from repro.geo.position import Position
+    from repro.radio.technology import DSRC
+
+    config = enable_plausibility_check(
+        GeoNetConfig(dist_max=DSRC.max_range_m), threshold=DSRC.nlos_median_m
+    )
+    testbed = make_testbed(config=config)
+    v1 = testbed.add_node(0.0)
+    v2 = testbed.add_node(400.0)
+    v3 = testbed.add_node(880.0)
+    dest = testbed.add_node(1300.0)
+    got = []
+    dest.router.on_deliver.append(lambda n, p: got.append(p))
+    InterAreaInterceptor(
+        sim=testbed.sim,
+        channel=testbed.channel,
+        streams=testbed.streams,
+        position=Position(450.0, -10.0),
+        attack_range=600.0,
+    )
+    testbed.warm_up()
+    # The poison is present (reception-side acceptance is unchanged)...
+    assert v1.router.loct.get(v3.address, testbed.sim.now) is not None
+    v1.originate(CircularArea(Position(1300.0, 0.0), 30.0), "protected")
+    testbed.sim.run_until(testbed.sim.now + 2.0)
+    # ...but the forwarding-time check routes around it.
+    assert len(got) == 1
+    assert v1.router.gf.stats.plausibility_rejections >= 1

@@ -1,0 +1,150 @@
+"""Threat-model enforcement tests (paper §III-A).
+
+The attacker is an *outsider*: no certificate, no forging, no breaking of
+signatures.  These tests pin down that the attack implementations stay
+within those capabilities and that the security layer would catch anything
+stronger.
+"""
+
+import pytest
+
+from repro.core.attacks import InterAreaInterceptor, IntraAreaBlocker
+from repro.geo.position import Position
+from repro.security.pseudonym import PseudonymPool
+
+
+def deploy(testbed, cls, **kwargs):
+    kwargs.setdefault("position", Position(100.0, -10.0))
+    kwargs.setdefault("attack_range", 500.0)
+    return cls(
+        sim=testbed.sim,
+        channel=testbed.channel,
+        streams=testbed.streams,
+        **kwargs,
+    )
+
+
+def test_attackers_hold_no_credentials(testbed):
+    for cls in (InterAreaInterceptor, IntraAreaBlocker):
+        attacker = deploy(testbed, cls, name=cls.__name__)
+        assert not hasattr(attacker, "credentials")
+
+
+def test_attacker_uses_pseudonymous_address(testbed):
+    attacker = deploy(testbed, InterAreaInterceptor)
+    assert PseudonymPool.is_pseudonym(attacker.iface.address)
+
+
+def test_attacker_cannot_forge_a_beacon_that_verifies(testbed):
+    """Even if attack code *tried* to craft a beacon, it has no enrolled
+    keypair, so receivers reject it."""
+    from repro.geo.position import PositionVector
+    from repro.geonet.packets import BeaconBody
+    from repro.security.certificates import Certificate, Credentials
+    from repro.security.signing import sign, verify
+
+    self_made = Credentials(
+        certificate=Certificate("mallory", "self-pub", "USDOT-CA", "self-sig"),
+        private_token="self-priv",
+    )
+    forged = sign(
+        BeaconBody(
+            source_addr=1,
+            pv=PositionVector(Position(0, 0), 0.0, 0.0, 0.0),
+        ),
+        self_made,
+    )
+    assert not verify(forged)
+
+
+def test_attacker_cannot_alter_signed_fields_undetected(testbed):
+    """Altering the signed body of a captured packet breaks verification;
+    only the unsigned per-hop fields (RHL, sender position) are malleable."""
+    from repro.geo.areas import RectangularArea
+    from repro.geo.position import PositionVector
+    from repro.geonet.packets import GbcBody, GeoBroadcastPacket
+    from repro.security.signing import SignedMessage, sign, verify
+
+    creds = testbed.ca.enroll("legit")
+    body = GbcBody(
+        source_addr=1,
+        sequence_number=1,
+        source_pv=PositionVector(Position(0, 0), 0.0, 0.0, 0.0),
+        area=RectangularArea(0, 100, 0, 10),
+        payload="brake warning",
+        lifetime=60.0,
+        created_at=0.0,
+    )
+    captured = GeoBroadcastPacket(
+        signed=sign(body, creds),
+        rhl=10,
+        sender_addr=1,
+        sender_position=Position(0, 0),
+    )
+    # Malleable: RHL rewrite verifies.
+    rewritten = captured.next_hop_copy(
+        rhl=1, sender_addr=captured.sender_addr, sender_position=Position(5, 0)
+    )
+    assert verify(rewritten.signed)
+    # Not malleable: payload tampering fails verification.
+    from dataclasses import replace
+
+    tampered_body = replace(body, payload="all clear")
+    tampered = SignedMessage(
+        body=tampered_body,
+        certificate=captured.signed.certificate,
+        signature=captured.signed.signature,
+    )
+    assert not verify(tampered)
+
+
+def test_attacker_does_not_influence_vehicle_motion(testbed):
+    """The attacker is a radio entity only: traffic evolves identically with
+    and without it (the property that makes A/B runs paired)."""
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.world import World
+
+    config = ExperimentConfig.intra_area_default(duration=5.0)
+    worlds = [World(config, attacked=flag, seed=9) for flag in (False, True)]
+    for world in worlds:
+        world.run()
+    positions = []
+    for world in worlds:
+        positions.append(
+            sorted(round(v.x, 6) for v in world.traffic.vehicles())
+        )
+    assert positions[0] == positions[1]
+
+
+def test_attack_reaction_delay_is_respected(testbed):
+    received_at = {}
+    victim = testbed.add_node(0.0)
+    testbed.add_node(50.0)
+    attacker = deploy(testbed, InterAreaInterceptor, reaction_delay=0.01)
+    replay_times = []
+    original = attacker.replay_frame
+
+    def spy(frame, **kwargs):
+        replay_times.append((testbed.sim.now, frame.tx_time))
+        original(frame, **kwargs)
+
+    attacker.replay_frame = spy
+    testbed.warm_up(5.0)
+    assert replay_times
+    for now, tx_time in replay_times:
+        assert now - tx_time >= 0.01
+
+
+def test_invalid_attacker_parameters_rejected(testbed):
+    with pytest.raises(ValueError):
+        deploy(testbed, InterAreaInterceptor, attack_range=0.0)
+    kwargs = dict(
+        sim=testbed.sim,
+        channel=testbed.channel,
+        streams=testbed.streams,
+        position=Position(0, 0),
+        attack_range=100.0,
+        reaction_delay=-1.0,
+    )
+    with pytest.raises(ValueError):
+        InterAreaInterceptor(**kwargs)

@@ -1,0 +1,95 @@
+"""Tests for the analysis helpers (stats + text plotting)."""
+
+import pytest
+
+from repro.analysis import (
+    confidence_interval,
+    mean,
+    paired_difference_interval,
+    sample_std,
+    series_table,
+    sparkline,
+)
+from repro.analysis.stats import significantly_positive
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_std_known_value(self):
+        assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.13809, rel=1e-4
+        )
+
+    def test_sample_std_single_sample(self):
+        assert sample_std([5.0]) == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        m, low, high = confidence_interval([0.4, 0.5, 0.6])
+        assert low <= m <= high
+        assert m == pytest.approx(0.5)
+
+    def test_confidence_interval_single_sample_degenerate(self):
+        m, low, high = confidence_interval([0.7])
+        assert m == low == high == 0.7
+
+    def test_interval_narrows_with_more_samples(self):
+        tight = confidence_interval([0.5] * 2 + [0.6] * 2 + [0.4] * 2)
+        loose = confidence_interval([0.5, 0.6])
+        assert (tight[2] - tight[1]) < (loose[2] - loose[1])
+
+    def test_unsupported_level_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=0.99)
+
+    def test_paired_difference_interval(self):
+        baseline = [0.9, 0.8, 0.85, 0.95]
+        treatment = [0.4, 0.3, 0.35, 0.45]
+        m, low, high = paired_difference_interval(baseline, treatment)
+        assert m == pytest.approx(0.5)
+        assert low > 0.0
+
+    def test_paired_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            paired_difference_interval([1.0], [1.0, 2.0])
+
+    def test_significantly_positive(self):
+        assert significantly_positive([0.9, 0.9, 0.9], [0.1, 0.2, 0.1]) is True
+        assert significantly_positive([0.5, 0.4], [0.45, 0.5]) is False
+        assert significantly_positive([0.9], [0.1]) is None
+
+
+class TestTextPlot:
+    def test_sparkline_length_matches_input(self):
+        assert len(sparkline([0.0, 0.5, 1.0])) == 3
+
+    def test_sparkline_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " "
+        assert line[1] == "█"
+
+    def test_sparkline_none_renders_gap(self):
+        assert sparkline([None, 1.0], gap="·")[0] == "·"
+
+    def test_sparkline_clamps_out_of_range(self):
+        assert sparkline([2.0])[0] == "█"
+        assert sparkline([-1.0])[0] == " "
+
+    def test_sparkline_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=0.0)
+
+    def test_series_table_contains_labels_and_axis(self):
+        table = series_table(
+            [("af", [1.0, 1.0, 0.9]), ("atk", [0.5, 0.4, 0.3])], bin_width=5.0
+        )
+        assert "af " in table and "atk" in table
+        assert "15s" in table
+
+    def test_series_table_empty(self):
+        assert series_table([], bin_width=5.0) == "(no series)"

@@ -1,0 +1,102 @@
+"""Tests for experiment configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import (
+    AttackConfig,
+    AttackKind,
+    ExperimentConfig,
+    RoadConfig,
+    WorkloadConfig,
+    WorkloadKind,
+)
+from repro.radio.technology import CV2X, DSRC, RangeClass
+
+
+def test_inter_area_default_matches_paper():
+    config = ExperimentConfig.inter_area_default()
+    assert config.technology is DSRC
+    assert config.road.length == 4000.0
+    assert config.road.inter_vehicle_space == 30.0
+    assert config.road.directions == 1
+    assert config.geonet.loct_ttl == 20.0
+    assert config.duration == 200.0
+    assert config.bin_width == 5.0
+    assert config.attack.kind is AttackKind.INTER_AREA
+    assert config.attack.attack_range == DSRC.nlos_worst_m
+    assert config.workload.kind is WorkloadKind.INTER_AREA
+
+
+def test_intra_area_default_matches_paper():
+    config = ExperimentConfig.intra_area_default()
+    assert config.attack.kind is AttackKind.INTRA_AREA
+    assert config.attack.attack_range == DSRC.nlos_median_m
+    assert config.workload.kind is WorkloadKind.INTRA_AREA
+    assert config.geonet.default_rhl == 10
+
+
+def test_inter_area_hop_budget_covers_the_road():
+    config = ExperimentConfig.inter_area_default()
+    hops_available = config.geonet.default_rhl
+    hops_needed = config.road.length / config.vehicle_range
+    assert hops_available > hops_needed + 2
+
+
+def test_vehicle_range_is_technology_nlos_median():
+    assert ExperimentConfig.inter_area_default().vehicle_range == 486.0
+    assert (
+        ExperimentConfig.inter_area_default(technology=CV2X).vehicle_range == 593.0
+    )
+
+
+def test_attacker_defaults_to_road_middle():
+    config = ExperimentConfig.inter_area_default()
+    assert config.attacker_x == 2000.0
+
+
+def test_attacker_x_override():
+    config = ExperimentConfig.inter_area_default()
+    config = config.with_(attack=dataclasses.replace(config.attack, x=500.0))
+    assert config.attacker_x == 500.0
+
+
+def test_n_bins():
+    assert ExperimentConfig.inter_area_default().n_bins == 40
+    assert ExperimentConfig.inter_area_default(duration=12.0).n_bins == 3
+
+
+def test_attack_range_for():
+    config = ExperimentConfig.inter_area_default()
+    assert config.attack_range_for(RangeClass.LOS_MEDIAN) == 1283.0
+
+
+def test_with_overrides():
+    config = ExperimentConfig.inter_area_default(duration=60.0, seed=9)
+    assert config.duration == 60.0
+    assert config.seed == 9
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        RoadConfig(inter_vehicle_space=0)
+    with pytest.raises(ValueError):
+        AttackConfig(attack_range=0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(packet_interval=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(duration=0)
+
+
+def test_configs_are_frozen():
+    config = ExperimentConfig.inter_area_default()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.duration = 100.0
+
+
+def test_configs_are_picklable():
+    import pickle
+
+    config = ExperimentConfig.intra_area_default()
+    assert pickle.loads(pickle.dumps(config)) == config

@@ -1,0 +1,109 @@
+"""Tests for metric computation (reception bins, γ/λ)."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    BinnedRates,
+    PacketOutcome,
+    RunMetrics,
+    cumulative_drop_rates,
+    mean_bin_rates,
+    mean_drop_rate,
+)
+
+
+def outcome(t, success, **kwargs):
+    return PacketOutcome(
+        packet_id=(1, int(t * 10)),
+        send_time=t,
+        source_x=0.0,
+        direction=1,
+        success=success,
+        **kwargs,
+    )
+
+
+class TestRunMetrics:
+    def test_n_bins(self):
+        assert RunMetrics(duration=200.0, bin_width=5.0).n_bins == 40
+        assert RunMetrics(duration=7.0, bin_width=5.0).n_bins == 2
+
+    def test_binning_by_send_time(self):
+        m = RunMetrics(duration=10.0, bin_width=5.0)
+        m.record(outcome(1.0, 1.0))
+        m.record(outcome(2.0, 0.0))
+        m.record(outcome(7.0, 1.0))
+        rates = m.binned_rates().rates
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(1.0)
+
+    def test_empty_bins_are_none(self):
+        m = RunMetrics(duration=15.0, bin_width=5.0)
+        m.record(outcome(1.0, 1.0))
+        rates = m.binned_rates().rates
+        assert rates == [1.0, None, None]
+
+    def test_send_time_at_duration_clamps_to_last_bin(self):
+        m = RunMetrics(duration=10.0, bin_width=5.0)
+        m.record(outcome(10.0, 1.0))
+        rates = m.binned_rates().rates
+        assert rates[1] == 1.0
+
+    def test_overall_rate(self):
+        m = RunMetrics(duration=10.0, bin_width=5.0)
+        for s in (1.0, 0.0, 0.5, 0.5):
+            m.record(outcome(1.0, s))
+        assert m.overall_rate() == pytest.approx(0.5)
+
+    def test_overall_rate_empty(self):
+        assert RunMetrics(duration=10.0, bin_width=5.0).overall_rate() == 0.0
+
+
+class TestAggregation:
+    def test_mean_bin_rates_across_runs(self):
+        a = BinnedRates(5.0, [1.0, 0.5, None])
+        b = BinnedRates(5.0, [0.0, None, None])
+        assert mean_bin_rates([a, b]) == [0.5, 0.5, None]
+
+    def test_mean_bin_rates_empty(self):
+        assert mean_bin_rates([]) == []
+
+    def test_mean_drop_rate_relative(self):
+        gamma = mean_drop_rate([1.0, 0.8], [0.0, 0.4], relative=True)
+        assert gamma == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_mean_drop_rate_absolute(self):
+        gamma = mean_drop_rate([1.0, 0.8], [0.0, 0.4], relative=False)
+        assert gamma == pytest.approx((1.0 + 0.4) / 2)
+
+    def test_drop_rate_skips_none_bins(self):
+        gamma = mean_drop_rate([1.0, None, 0.5], [0.5, 0.2, None])
+        assert gamma == pytest.approx(0.5)
+
+    def test_drop_rate_skips_zero_af_bins_when_relative(self):
+        gamma = mean_drop_rate([0.0, 1.0], [0.0, 0.5], relative=True)
+        assert gamma == pytest.approx(0.5)
+
+    def test_drop_rate_all_empty_returns_none(self):
+        assert mean_drop_rate([None], [None]) is None
+
+    def test_negative_drop_when_attack_helps(self):
+        # A mL-range intra-area "attack" can raise reception; the metric
+        # must represent that as a negative drop.
+        gamma = mean_drop_rate([0.5], [0.8])
+        assert gamma == pytest.approx(-0.6)
+
+    def test_cumulative_drop_rates(self):
+        drops = cumulative_drop_rates([1.0, 1.0, 1.0], [1.0, 0.0, 0.5])
+        assert drops[0] == pytest.approx(0.0)
+        assert drops[1] == pytest.approx(0.5)
+        assert drops[2] == pytest.approx(0.5)
+
+    def test_cumulative_handles_leading_none(self):
+        drops = cumulative_drop_rates([None, 1.0], [None, 0.5])
+        assert drops[0] is None
+        assert drops[1] == pytest.approx(0.5)
+
+    def test_binned_rates_overall(self):
+        assert BinnedRates(5.0, [1.0, None, 0.0]).overall() == pytest.approx(0.5)
+        assert BinnedRates(5.0, [None]).overall() is None

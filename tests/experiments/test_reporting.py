@@ -1,0 +1,102 @@
+"""Tests for reporting and the tables/CLI plumbing."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import (
+    FigureResult,
+    FigureSeries,
+    cumulative_table,
+    fmt_pct,
+)
+from repro.experiments.runner import run_ab
+
+
+def tiny_ab():
+    config = ExperimentConfig.intra_area_default(duration=6.0, seed=2)
+    config = config.with_(road=dataclasses.replace(config.road, length=1000.0))
+    return run_ab(config, runs=1)
+
+
+def test_fmt_pct():
+    assert fmt_pct(0.5).strip() == "50.0%"
+    assert fmt_pct(None).strip() == "n/a"
+
+
+def test_figure_result_add_get_format():
+    result = FigureResult(figure_id="FigX", title="test figure")
+    ab = tiny_ab()
+    result.add("series-1", ab)
+    assert result.get("series-1").result is ab
+    text = result.format()
+    assert "FigX" in text and "series-1" in text
+    with pytest.raises(KeyError):
+        result.get("missing")
+
+
+def test_bin_table_renders_all_series():
+    result = FigureResult(figure_id="FigX", title="t")
+    result.add("s", tiny_ab())
+    table = result.bin_table()
+    assert "[af ]" in table and "[atk]" in table
+
+
+def test_cumulative_table():
+    result = FigureResult(figure_id="FigY", title="t")
+    result.add("s", tiny_ab())
+    table = cumulative_table("FigY", result.series, bin_width=5.0)
+    assert table.startswith("FigY")
+
+
+def test_table1_lists_idm_parameters():
+    from repro.experiments.figures.tables import table1
+
+    text = table1()
+    assert "30 m/s" in text
+    assert "1.5 s" in text
+    assert "3.0 m/s^2" in text
+
+
+def test_table2_lists_ranges():
+    from repro.experiments.figures.tables import table2
+
+    text = table2()
+    assert "1,283" in text
+    assert "1,703" in text
+    assert "486" in text and "593" in text
+    assert "327" in text and "359" in text
+
+
+def test_cli_runs_tables(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["table1"]) == 0
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out
+
+
+def test_cli_rejects_unknown_target():
+    from repro.experiments.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])
+
+
+def test_cli_overhead_target(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["overhead", "--duration", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "mitigation overhead model" in out
+    assert "plausibility check" in out
+
+
+def test_figure_result_sketch_renders():
+    result = FigureResult(figure_id="FigZ", title="sketch test")
+    result.add("s", tiny_ab())
+    sketch = result.sketch()
+    assert "FigZ" in sketch
+    assert "s af " in sketch

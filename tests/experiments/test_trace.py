@@ -1,0 +1,90 @@
+"""Tests for the channel tracer."""
+
+import pytest
+
+from repro.analysis.trace import ChannelTracer
+from repro.geo.areas import CircularArea
+from repro.geo.position import Position
+from repro.radio.frames import FrameKind
+
+
+def test_tracer_records_beacons(testbed):
+    tracer = ChannelTracer(testbed.channel)
+    testbed.add_node(0.0)
+    testbed.add_node(100.0)
+    testbed.warm_up(7.0)
+    counts = tracer.counts()
+    assert counts[FrameKind.BEACON] >= 4
+
+
+def test_tracer_records_unicast_forwards(testbed):
+    a = testbed.add_node(0.0)
+    testbed.add_node(400.0)
+    testbed.add_node(800.0)
+    tracer = ChannelTracer(testbed.channel)
+    testbed.warm_up()
+    a.originate(CircularArea(Position(800.0, 0.0), 30.0), "traced")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    unicasts = list(tracer.filter(kind=FrameKind.GEO_UNICAST))
+    assert len(unicasts) >= 1
+    assert unicasts[0].payload_type == "GeoBroadcastPacket"
+    assert unicasts[0].dest_addr is not None
+
+
+def test_tracer_does_not_change_delivery(testbed):
+    a = testbed.add_node(0.0)
+    b = testbed.add_node(100.0)
+    ChannelTracer(testbed.channel)
+    testbed.warm_up()
+    assert a.address in b.router.loct
+
+
+def test_filter_by_sender_and_time(testbed):
+    a = testbed.add_node(0.0)
+    testbed.add_node(100.0)
+    tracer = ChannelTracer(testbed.channel)
+    testbed.warm_up(10.0)
+    mine = list(tracer.filter(sender_addr=a.address))
+    assert mine
+    assert all(r.sender_addr == a.address for r in mine)
+    late = list(tracer.filter(since=5.0))
+    assert all(r.time >= 5.0 for r in late)
+
+
+def test_record_cap_counts_drops(testbed):
+    tracer = ChannelTracer(testbed.channel, max_records=3)
+    testbed.add_node(0.0)
+    testbed.add_node(100.0)
+    testbed.warm_up(20.0)
+    assert len(tracer.records) == 3
+    assert tracer.dropped > 0
+
+
+def test_detach_restores_channel(testbed):
+    tracer = ChannelTracer(testbed.channel)
+    tracer.detach()
+    testbed.add_node(0.0)
+    testbed.add_node(100.0)
+    testbed.warm_up(5.0)
+    assert tracer.records == []
+    tracer.detach()  # idempotent
+
+
+def test_to_text_renders_lines(testbed):
+    tracer = ChannelTracer(testbed.channel)
+    testbed.add_node(0.0)
+    testbed.add_node(100.0)
+    testbed.warm_up(5.0)
+    text = tracer.to_text(limit=2)
+    assert "beacon" in text
+    assert "->" in text
+
+
+def test_to_text_empty(testbed):
+    tracer = ChannelTracer(testbed.channel)
+    assert tracer.to_text() == "(no matching records)"
+
+
+def test_invalid_cap_rejected(testbed):
+    with pytest.raises(ValueError):
+        ChannelTracer(testbed.channel, max_records=0)

@@ -1,0 +1,99 @@
+"""Tests for destination areas."""
+
+import pytest
+
+from repro.geo.areas import CircularArea, RectangularArea, RoadSegmentArea
+from repro.geo.position import Position
+
+
+class TestCircularArea:
+    def test_contains_center(self):
+        area = CircularArea(Position(10, 10), 5.0)
+        assert area.contains(Position(10, 10))
+
+    def test_contains_boundary_point(self):
+        area = CircularArea(Position(0, 0), 5.0)
+        assert area.contains(Position(5, 0))
+
+    def test_excludes_outside_point(self):
+        area = CircularArea(Position(0, 0), 5.0)
+        assert not area.contains(Position(5.01, 0))
+
+    def test_center_property(self):
+        assert CircularArea(Position(3, 4), 1.0).center == Position(3, 4)
+
+    def test_distance_from_inside_is_zero(self):
+        area = CircularArea(Position(0, 0), 10.0)
+        assert area.distance_from(Position(3, 4)) == 0.0
+
+    def test_distance_from_outside(self):
+        area = CircularArea(Position(0, 0), 5.0)
+        assert area.distance_from(Position(13, 0)) == pytest.approx(8.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            CircularArea(Position(0, 0), -1.0)
+
+    def test_zero_radius_contains_only_center(self):
+        area = CircularArea(Position(1, 1), 0.0)
+        assert area.contains(Position(1, 1))
+        assert not area.contains(Position(1, 1.001))
+
+
+class TestRectangularArea:
+    def test_contains_interior(self):
+        area = RectangularArea(0, 10, 0, 4)
+        assert area.contains(Position(5, 2))
+
+    def test_contains_corners(self):
+        area = RectangularArea(0, 10, 0, 4)
+        for corner in (Position(0, 0), Position(10, 4), Position(0, 4), Position(10, 0)):
+            assert area.contains(corner)
+
+    def test_excludes_outside(self):
+        area = RectangularArea(0, 10, 0, 4)
+        assert not area.contains(Position(-0.1, 2))
+        assert not area.contains(Position(5, 4.1))
+
+    def test_center(self):
+        assert RectangularArea(0, 10, 0, 4).center == Position(5, 2)
+
+    def test_distance_from_inside_zero(self):
+        assert RectangularArea(0, 10, 0, 4).distance_from(Position(5, 2)) == 0.0
+
+    def test_distance_from_side(self):
+        assert RectangularArea(0, 10, 0, 4).distance_from(Position(15, 2)) == 5.0
+
+    def test_distance_from_corner_is_diagonal(self):
+        area = RectangularArea(0, 10, 0, 4)
+        assert area.distance_from(Position(13, 8)) == pytest.approx(5.0)
+
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            RectangularArea(10, 0, 0, 4)
+        with pytest.raises(ValueError):
+            RectangularArea(0, 10, 4, 0)
+
+    def test_zero_area_rectangle_is_allowed_line(self):
+        area = RectangularArea(0, 10, 2, 2)
+        assert area.contains(Position(5, 2))
+        assert not area.contains(Position(5, 2.1))
+
+
+class TestRoadSegmentArea:
+    def test_covers_whole_segment(self):
+        area = RoadSegmentArea(length=4000.0, total_width=10.0)
+        assert area.contains(Position(0, 0))
+        assert area.contains(Position(4000, 10))
+        assert not area.contains(Position(4000.1, 5))
+
+    def test_y_offset(self):
+        area = RoadSegmentArea(length=100.0, total_width=10.0, y_offset=5.0)
+        assert not area.contains(Position(50, 4))
+        assert area.contains(Position(50, 12))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            RoadSegmentArea(length=0, total_width=10)
+        with pytest.raises(ValueError):
+            RoadSegmentArea(length=100, total_width=0)

@@ -1,0 +1,33 @@
+"""Tests for distance helpers used by the forwarding algorithms."""
+
+import pytest
+
+from repro.geo.areas import CircularArea
+from repro.geo.distance import distance, distance_to_area, progress_toward
+from repro.geo.position import Position
+
+
+def test_distance_matches_position_method():
+    a, b = Position(0, 0), Position(6, 8)
+    assert distance(a, b) == a.distance_to(b) == 10.0
+
+
+def test_distance_to_area_uses_center_not_boundary():
+    area = CircularArea(Position(100, 0), 50.0)
+    # 60 m from the centre but inside the area: centre distance is used.
+    assert distance_to_area(Position(60, 0), area) == pytest.approx(40.0)
+
+
+def test_progress_positive_when_candidate_closer():
+    area = CircularArea(Position(100, 0), 10.0)
+    assert progress_toward(Position(0, 0), Position(50, 0), area) == pytest.approx(50.0)
+
+
+def test_progress_negative_when_candidate_farther():
+    area = CircularArea(Position(100, 0), 10.0)
+    assert progress_toward(Position(50, 0), Position(0, 0), area) == pytest.approx(-50.0)
+
+
+def test_progress_zero_for_same_distance():
+    area = CircularArea(Position(0, 0), 10.0)
+    assert progress_toward(Position(5, 0), Position(0, 5), area) == pytest.approx(0.0)

@@ -1,0 +1,82 @@
+"""Tests for positions and position vectors."""
+
+import math
+
+import pytest
+
+from repro.geo.position import Position, PositionVector
+
+
+def test_distance_is_euclidean():
+    assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+def test_distance_is_symmetric():
+    a, b = Position(1, 2), Position(-4, 7)
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+def test_distance_to_self_is_zero():
+    p = Position(12.5, -3.0)
+    assert p.distance_to(p) == 0.0
+
+
+def test_translated_offsets_coordinates():
+    assert Position(1, 2).translated(3, -1) == Position(4, 1)
+
+
+def test_translated_default_dy_zero():
+    assert Position(1, 2).translated(5) == Position(6, 2)
+
+
+def test_position_is_immutable():
+    with pytest.raises(AttributeError):
+        Position(0, 0).x = 5
+
+
+def test_position_unpacks():
+    x, y = Position(3.0, 7.0)
+    assert (x, y) == (3.0, 7.0)
+
+
+def test_pv_rejects_negative_speed():
+    with pytest.raises(ValueError):
+        PositionVector(Position(0, 0), speed=-1.0, heading=0.0, timestamp=0.0)
+
+
+def test_pv_velocity_east():
+    pv = PositionVector(Position(0, 0), speed=10.0, heading=0.0, timestamp=0.0)
+    vx, vy = pv.velocity
+    assert vx == pytest.approx(10.0)
+    assert vy == pytest.approx(0.0)
+
+
+def test_pv_velocity_west():
+    pv = PositionVector(Position(0, 0), speed=10.0, heading=math.pi, timestamp=0.0)
+    vx, vy = pv.velocity
+    assert vx == pytest.approx(-10.0)
+    assert abs(vy) < 1e-9
+
+
+def test_pv_extrapolate_moves_with_velocity():
+    pv = PositionVector(Position(100, 0), speed=30.0, heading=0.0, timestamp=10.0)
+    later = pv.extrapolate(12.0)
+    assert later.x == pytest.approx(160.0)
+    assert later.y == pytest.approx(0.0)
+
+
+def test_pv_extrapolate_backwards_in_time():
+    pv = PositionVector(Position(100, 0), speed=30.0, heading=0.0, timestamp=10.0)
+    earlier = pv.extrapolate(9.0)
+    assert earlier.x == pytest.approx(70.0)
+
+
+def test_pv_age():
+    pv = PositionVector(Position(0, 0), speed=0.0, heading=0.0, timestamp=5.0)
+    assert pv.age(8.0) == pytest.approx(3.0)
+
+
+def test_pv_is_immutable():
+    pv = PositionVector(Position(0, 0), speed=1.0, heading=0.0, timestamp=0.0)
+    with pytest.raises(AttributeError):
+        pv.speed = 2.0

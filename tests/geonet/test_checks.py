@@ -1,0 +1,48 @@
+"""Tests for the mitigation predicates."""
+
+import pytest
+
+from repro.geo.position import Position
+from repro.geonet.checks import duplicate_rhl_plausible, position_plausible
+
+
+class TestPositionPlausible:
+    def test_within_threshold(self):
+        assert position_plausible(Position(0, 0), Position(400, 0), 486.0)
+
+    def test_boundary_inclusive(self):
+        assert position_plausible(Position(0, 0), Position(486, 0), 486.0)
+
+    def test_beyond_threshold(self):
+        assert not position_plausible(Position(0, 0), Position(487, 0), 486.0)
+
+    def test_replayed_far_beacon_fails(self):
+        # The inter-area attack advertises a node ~654 m away to a victim
+        # with 486 m of range: the check kills exactly that.
+        assert not position_plausible(Position(0, 0), Position(654, 0), 486.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            position_plausible(Position(0, 0), Position(1, 0), 0.0)
+
+
+class TestDuplicateRhlPlausible:
+    def test_one_hop_drop_accepted(self):
+        assert duplicate_rhl_plausible(10, 9, 3)
+
+    def test_drop_at_threshold_accepted(self):
+        assert duplicate_rhl_plausible(10, 7, 3)
+
+    def test_steep_drop_rejected(self):
+        assert not duplicate_rhl_plausible(10, 1, 3)
+
+    def test_equal_rhl_accepted(self):
+        assert duplicate_rhl_plausible(10, 10, 3)
+
+    def test_higher_rhl_accepted(self):
+        # A duplicate with a *larger* RHL is even fresher — plausible.
+        assert duplicate_rhl_plausible(8, 10, 3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            duplicate_rhl_plausible(10, 9, 0)

@@ -1,0 +1,52 @@
+"""Tests for GeoNetConfig validation and helpers."""
+
+import pytest
+
+from repro.geonet.config import GeoNetConfig
+
+
+def test_paper_defaults():
+    config = GeoNetConfig()
+    assert config.beacon_period == 3.0
+    assert config.beacon_jitter == 0.75
+    assert config.loct_ttl == 20.0
+    assert config.to_min == 0.001
+    assert config.to_max == 0.100
+    assert config.default_rhl == 10
+    assert not config.plausibility_check
+    assert not config.rhl_check
+    assert config.rhl_drop_threshold == 3
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"beacon_period": 0},
+        {"beacon_jitter": -1},
+        {"loct_ttl": 0},
+        {"to_min": 0},
+        {"to_min": 0.2, "to_max": 0.1},
+        {"dist_max": 0},
+        {"default_rhl": 0},
+        {"default_lifetime": 0},
+        {"plausibility_threshold": 0},
+        {"rhl_drop_threshold": 0},
+        {"gf_recheck_interval": 0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        GeoNetConfig(**kwargs)
+
+
+def test_with_mitigations_flips_flags_without_mutating_original():
+    base = GeoNetConfig()
+    both = base.with_mitigations(plausibility_check=True, rhl_check=True)
+    assert both.plausibility_check and both.rhl_check
+    assert not base.plausibility_check and not base.rhl_check
+
+
+def test_with_mitigations_partial():
+    config = GeoNetConfig().with_mitigations(rhl_check=True)
+    assert config.rhl_check
+    assert not config.plausibility_check

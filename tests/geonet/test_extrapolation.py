@@ -1,0 +1,82 @@
+"""Tests for the optional LocTE PV extrapolation in GF ranking."""
+
+import math
+
+import pytest
+
+from repro.geo.areas import CircularArea
+from repro.geo.position import Position, PositionVector
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.gf import GreedyForwarder
+from repro.geonet.loct import LocationTable
+
+DEST = CircularArea(Position(2000.0, 0.0), 20.0)
+
+
+def moving_pv(x, speed, heading, t):
+    return PositionVector(Position(x, 0.0), speed=speed, heading=heading, timestamp=t)
+
+
+def make_gf(extrapolation: bool):
+    config = GeoNetConfig(loct_extrapolation=extrapolation)
+    loct = LocationTable(ttl=config.loct_ttl)
+    return GreedyForwarder(config, loct), loct
+
+
+def test_extrapolation_is_off_by_default():
+    assert GeoNetConfig().loct_extrapolation is False
+
+
+def test_without_extrapolation_ranking_uses_advertised_position():
+    gf, loct = make_gf(extrapolation=False)
+    # Advertised at 300 but moving east fast: at t=10 it is really at 600.
+    loct.update(1, moving_pv(300, 30.0, 0.0, t=0.0), now=0.0)
+    loct.update(2, moving_pv(400, 0.0, 0.0, t=0.0), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=10.0)
+    assert selection.next_hop.addr == 2  # 400 advertised beats 300 advertised
+
+
+def test_with_extrapolation_ranking_uses_current_position():
+    gf, loct = make_gf(extrapolation=True)
+    loct.update(1, moving_pv(300, 30.0, 0.0, t=0.0), now=0.0)  # now at 600
+    loct.update(2, moving_pv(400, 0.0, 0.0, t=0.0), now=0.0)  # still at 400
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=10.0)
+    assert selection.next_hop.addr == 1
+
+
+def test_extrapolation_matches_advertised_for_fresh_entries():
+    for flag in (True, False):
+        gf, loct = make_gf(extrapolation=flag)
+        loct.update(1, moving_pv(300, 30.0, 0.0, t=10.0), now=10.0)
+        selection = gf.select_next_hop(Position(0, 0), DEST, now=10.0)
+        assert selection.next_hop.addr == 1
+
+
+def test_extrapolation_does_not_defeat_the_beacon_replay():
+    """The attack's replayed beacons are fresh, so extrapolation leaves the
+    poisoned entry where the out-of-range vehicle advertised itself — the
+    attack works under either setting."""
+    for flag in (True, False):
+        gf, loct = make_gf(extrapolation=flag)
+        # Real neighbor 400 m east; replayed (authentic, fresh) beacon of a
+        # vehicle 900 m east, far outside radio range.
+        loct.update(1, moving_pv(400, 30.0, 0.0, t=9.999), now=9.999)
+        loct.update(2, moving_pv(900, 30.0, 0.0, t=9.998), now=9.999)
+        selection = gf.select_next_hop(Position(0, 0), DEST, now=10.0)
+        assert selection.next_hop.addr == 2
+
+
+def test_plausibility_check_uses_advertised_position_even_with_extrapolation():
+    config = GeoNetConfig(
+        loct_extrapolation=True,
+        plausibility_check=True,
+        plausibility_threshold=486.0,
+    )
+    loct = LocationTable(ttl=config.loct_ttl)
+    gf = GreedyForwarder(config, loct)
+    # Advertised within threshold, extrapolated far beyond it: the §V-A
+    # check keys on the advertised (beacon) position and accepts it.
+    loct.update(1, moving_pv(450, 30.0, 0.0, t=0.0), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=20.0)
+    assert selection.next_hop is not None
+    assert selection.rejected_by_plausibility == 0

@@ -1,0 +1,117 @@
+"""Tests for the Greedy Forwarding algorithm."""
+
+import pytest
+
+from repro.geo.areas import CircularArea
+from repro.geo.position import Position, PositionVector
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.gf import GreedyForwarder
+from repro.geonet.loct import LocationTable
+
+DEST = CircularArea(Position(1000.0, 0.0), 20.0)
+
+
+def pv(x, t=0.0):
+    return PositionVector(Position(x, 0.0), speed=0.0, heading=0.0, timestamp=t)
+
+
+def make_gf(plausibility=False, threshold=486.0):
+    config = GeoNetConfig(
+        plausibility_check=plausibility, plausibility_threshold=threshold
+    )
+    loct = LocationTable(ttl=config.loct_ttl)
+    return GreedyForwarder(config, loct), loct
+
+
+def test_picks_neighbor_closest_to_destination():
+    gf, loct = make_gf()
+    loct.update(1, pv(100), now=0.0)
+    loct.update(2, pv(400), now=0.0)
+    loct.update(3, pv(250), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop.addr == 2
+
+
+def test_requires_strict_progress():
+    gf, loct = make_gf()
+    loct.update(1, pv(0), now=0.0)  # same distance as forwarder
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop is None
+    assert selection.reason == "no-progress-candidate"
+
+
+def test_backward_candidates_rejected():
+    gf, loct = make_gf()
+    loct.update(1, pv(-200), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop is None
+
+
+def test_empty_table_returns_none():
+    gf, _ = make_gf()
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop is None
+    assert gf.stats.no_progress == 1
+
+
+def test_expired_entries_ignored():
+    gf, loct = make_gf()
+    loct.update(1, pv(500), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=25.0)
+    assert selection.next_hop is None
+
+
+def test_excluded_addresses_skipped():
+    gf, loct = make_gf()
+    loct.update(1, pv(500), now=0.0)
+    loct.update(2, pv(300), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0, exclude={1})
+    assert selection.next_hop.addr == 2
+
+
+def test_no_plausibility_check_by_default():
+    """Vulnerability #2: a far-away advertised position is accepted."""
+    gf, loct = make_gf()
+    loct.update(1, pv(900), now=0.0)  # 900 m away, far out of radio range
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop.addr == 1
+
+
+def test_plausibility_check_skips_implausible_candidate():
+    gf, loct = make_gf(plausibility=True, threshold=486.0)
+    loct.update(1, pv(900), now=0.0)  # implausible
+    loct.update(2, pv(400), now=0.0)  # plausible
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop.addr == 2
+    assert selection.rejected_by_plausibility == 1
+
+
+def test_plausibility_check_may_leave_no_candidate():
+    gf, loct = make_gf(plausibility=True, threshold=486.0)
+    loct.update(1, pv(900), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop is None
+    assert gf.stats.plausibility_rejections == 1
+
+
+def test_plausibility_boundary_is_inclusive():
+    gf, loct = make_gf(plausibility=True, threshold=486.0)
+    loct.update(1, pv(486.0), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop.addr == 1
+
+
+def test_candidates_past_destination_ranked_by_distance_to_center():
+    gf, loct = make_gf()
+    loct.update(1, pv(1300), now=0.0)  # 300 past the centre
+    loct.update(2, pv(900), now=0.0)  # 100 short of the centre
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert selection.next_hop.addr == 2
+
+
+def test_stats_count_selections():
+    gf, loct = make_gf()
+    loct.update(1, pv(500), now=0.0)
+    gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    gf.select_next_hop(Position(0, 0), DEST, now=0.0)
+    assert gf.stats.selections == 2

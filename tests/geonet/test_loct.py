@@ -1,0 +1,114 @@
+"""Tests for the location table."""
+
+import pytest
+
+from repro.geo.position import Position, PositionVector
+from repro.geonet.loct import LocationTable
+
+
+def pv(x, t=0.0, speed=0.0):
+    return PositionVector(Position(x, 0.0), speed=speed, heading=0.0, timestamp=t)
+
+
+def test_update_creates_entry():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100), now=0.0)
+    entry = loct.get(1, now=0.0)
+    assert entry is not None
+    assert entry.position == Position(100, 0)
+
+
+def test_entry_expires_after_ttl():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100), now=0.0)
+    assert loct.get(1, now=20.0) is not None  # inclusive boundary
+    assert loct.get(1, now=20.01) is None
+
+
+def test_update_refreshes_ttl():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100), now=0.0)
+    loct.update(1, pv(130), now=15.0)
+    entry = loct.get(1, now=30.0)
+    assert entry is not None
+    assert entry.position.x == 130
+
+
+def test_update_replaces_pv():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100, t=0.0), now=0.0)
+    loct.update(1, pv(200, t=3.0), now=3.0)
+    assert loct.get(1, now=3.0).pv.timestamp == 3.0
+
+
+def test_live_entries_skips_expired():
+    loct = LocationTable(ttl=10.0)
+    loct.update(1, pv(100), now=0.0)
+    loct.update(2, pv(200), now=5.0)
+    live = {e.addr for e in loct.live_entries(now=12.0)}
+    assert live == {2}
+
+
+def test_purge_removes_expired_physically():
+    loct = LocationTable(ttl=10.0)
+    loct.update(1, pv(100), now=0.0)
+    loct.update(2, pv(200), now=5.0)
+    assert loct.purge(now=12.0) == 1
+    assert len(loct) == 1
+    assert 1 not in loct
+    assert 2 in loct
+
+
+def test_remove():
+    loct = LocationTable(ttl=10.0)
+    loct.update(1, pv(100), now=0.0)
+    loct.remove(1)
+    assert loct.get(1, now=0.0) is None
+    loct.remove(1)  # idempotent
+
+
+def test_stored_pv_is_never_extrapolated():
+    """The table returns the advertised PV as-is — GF acting on stale
+    positions is the behaviour the paper's attacks and baselines rely on."""
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100, t=0.0, speed=30.0), now=0.0)
+    entry = loct.get(1, now=10.0)
+    assert entry.position.x == 100  # not 400
+
+
+def test_invalid_ttl_rejected():
+    with pytest.raises(ValueError):
+        LocationTable(ttl=0.0)
+
+
+def test_len_counts_all_entries_even_expired():
+    loct = LocationTable(ttl=1.0)
+    loct.update(1, pv(1), now=0.0)
+    loct.update(2, pv(2), now=0.0)
+    assert len(loct) == 2
+
+
+def test_entries_are_neighbors_by_default():
+    loct = LocationTable(ttl=20.0)
+    entry = loct.update(1, pv(100), now=0.0)
+    assert entry.is_neighbor
+
+
+def test_indirect_update_not_a_neighbor():
+    loct = LocationTable(ttl=20.0)
+    entry = loct.update(1, pv(100), now=0.0, neighbor=False)
+    assert not entry.is_neighbor
+
+
+def test_indirect_update_never_downgrades_neighbor():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100), now=0.0)  # heard a beacon: neighbor
+    entry = loct.update(1, pv(130), now=1.0, neighbor=False)  # then via LS
+    assert entry.is_neighbor
+
+
+def test_beacon_upgrades_indirect_entry():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100), now=0.0, neighbor=False)
+    entry = loct.update(1, pv(130), now=1.0, neighbor=True)
+    assert entry.is_neighbor

@@ -1,0 +1,110 @@
+"""Tests for GeoNetworking packet formats."""
+
+import pytest
+
+from repro.geo.areas import CircularArea
+from repro.geo.position import Position, PositionVector
+from repro.geonet.packets import BeaconBody, GbcBody, GeoBroadcastPacket
+from repro.security.ca import CertificateAuthority
+from repro.security.signing import sign, verify
+
+
+def make_body(**kwargs):
+    defaults = dict(
+        source_addr=1,
+        sequence_number=7,
+        source_pv=PositionVector(Position(0, 0), 10.0, 0.0, 0.0),
+        area=CircularArea(Position(1000, 0), 50.0),
+        payload="warning",
+        lifetime=60.0,
+        created_at=0.0,
+    )
+    defaults.update(kwargs)
+    return GbcBody(**defaults)
+
+
+def make_packet(body=None, rhl=10):
+    creds = CertificateAuthority().enroll("src")
+    body = body or make_body()
+    return GeoBroadcastPacket(
+        signed=sign(body, creds),
+        rhl=rhl,
+        sender_addr=body.source_addr,
+        sender_position=body.source_pv.position,
+    )
+
+
+def test_packet_id_is_source_and_sequence():
+    assert make_body().packet_id == (1, 7)
+
+
+def test_lifetime_expiry():
+    body = make_body(lifetime=60.0, created_at=10.0)
+    assert not body.expired(70.0)
+    assert body.expired(70.01)
+
+
+def test_invalid_lifetime_rejected():
+    with pytest.raises(ValueError):
+        make_body(lifetime=0.0)
+
+
+def test_negative_rhl_rejected():
+    with pytest.raises(ValueError):
+        make_packet(rhl=-1)
+
+
+def test_next_hop_copy_shares_signed_body():
+    packet = make_packet(rhl=10)
+    forwarded = packet.next_hop_copy(
+        rhl=9, sender_addr=42, sender_position=Position(100, 0)
+    )
+    assert forwarded.signed is packet.signed
+    assert forwarded.rhl == 9
+    assert forwarded.sender_addr == 42
+    assert forwarded.packet_id == packet.packet_id
+
+
+def test_rhl_rewrite_does_not_invalidate_signature():
+    """The structural form of the paper's third CBF vulnerability:
+    per-hop fields are outside the signature."""
+    packet = make_packet(rhl=10)
+    rewritten = packet.next_hop_copy(
+        rhl=1,
+        sender_addr=packet.sender_addr,
+        sender_position=packet.sender_position,
+    )
+    assert verify(rewritten.signed)
+
+
+def test_signed_body_is_tamper_evident():
+    packet = make_packet()
+    from repro.security.signing import SignedMessage
+
+    altered_body = make_body(payload="tampered")
+    forged = SignedMessage(
+        body=altered_body,
+        certificate=packet.signed.certificate,
+        signature=packet.signed.signature,
+    )
+    assert not verify(forged)
+
+
+def test_packet_properties_delegate_to_body():
+    packet = make_packet()
+    assert packet.body.payload == "warning"
+    assert packet.area.contains(Position(1000, 0))
+    assert not packet.expired(30.0)
+
+
+def test_beacon_body_signable():
+    creds = CertificateAuthority().enroll("v")
+    beacon = sign(
+        BeaconBody(
+            source_addr=5,
+            pv=PositionVector(Position(1, 2), 30.0, 0.0, 0.0),
+        ),
+        creds,
+    )
+    assert verify(beacon)
+    assert beacon.body.source_addr == 5

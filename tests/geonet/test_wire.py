@@ -1,0 +1,212 @@
+"""Tests for the wire format (byte encodings and size accounting)."""
+
+import math
+
+import pytest
+
+from repro.geo.areas import CircularArea, RectangularArea
+from repro.geo.position import Position, PositionVector
+from repro.geonet import wire
+
+
+def pv(x=123.45, y=2.5, speed=29.87, heading=0.0, t=17.125):
+    return PositionVector(Position(x, y), speed=speed, heading=heading, timestamp=t)
+
+
+class TestPositionVectorCodec:
+    def test_round_trip(self):
+        addr, original = 42, pv()
+        decoded_addr, decoded = wire.decode_pv(wire.encode_pv(addr, original))
+        assert decoded_addr == addr
+        assert decoded.position.x == pytest.approx(original.position.x, abs=0.01)
+        assert decoded.position.y == pytest.approx(original.position.y, abs=0.01)
+        assert decoded.speed == pytest.approx(original.speed, abs=0.01)
+        assert decoded.timestamp == pytest.approx(original.timestamp, abs=0.001)
+
+    def test_heading_round_trip(self):
+        original = pv(heading=math.pi)
+        _addr, decoded = wire.decode_pv(wire.encode_pv(1, original))
+        assert decoded.heading == pytest.approx(math.pi, abs=0.001)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_pv(b"\x00" * 4)
+
+
+class TestAreaCodec:
+    def test_circle_round_trip(self):
+        area = CircularArea(Position(4020.0, 5.0), 15.0)
+        decoded = wire.decode_area(wire.encode_area(area))
+        assert isinstance(decoded, CircularArea)
+        assert decoded.center_point.x == pytest.approx(4020.0)
+        assert decoded.radius == pytest.approx(15.0)
+
+    def test_rectangle_round_trip(self):
+        area = RectangularArea(0.0, 4000.0, 0.0, 10.0)
+        decoded = wire.decode_area(wire.encode_area(area))
+        assert isinstance(decoded, RectangularArea)
+        assert decoded.x_max == pytest.approx(4000.0)
+
+    def test_unknown_kind_rejected(self):
+        data = bytearray(wire.encode_area(CircularArea(Position(0, 0), 1.0)))
+        data[0] = 99
+        with pytest.raises(wire.WireError):
+            wire.decode_area(bytes(data))
+
+
+class TestBeaconCodec:
+    def test_round_trip(self):
+        data = wire.encode_beacon(7, pv())
+        addr, decoded = wire.decode_beacon(data)
+        assert addr == 7
+        assert decoded.position.x == pytest.approx(123.45, abs=0.01)
+
+    def test_size_matches_accounting(self):
+        assert len(wire.encode_beacon(7, pv())) == wire.beacon_size()
+
+    def test_wrong_type_rejected(self):
+        data = wire.encode_gbc(
+            source_addr=1,
+            sequence_number=1,
+            source_pv=pv(),
+            area=CircularArea(Position(0, 0), 1.0),
+            payload="x",
+            lifetime=60.0,
+            created_at=0.0,
+            rhl=10,
+        )
+        with pytest.raises(wire.WireError):
+            wire.decode_beacon(data)
+
+
+class TestGbcCodec:
+    def make(self, payload="hazard-warning", rhl=10):
+        return wire.encode_gbc(
+            source_addr=99,
+            sequence_number=1234,
+            source_pv=pv(),
+            area=RectangularArea(0.0, 4000.0, 0.0, 10.0),
+            payload=payload,
+            lifetime=60.0,
+            created_at=5.5,
+            rhl=rhl,
+        )
+
+    def test_round_trip(self):
+        fields = wire.decode_gbc(self.make())
+        assert fields["source_addr"] == 99
+        assert fields["sequence_number"] == 1234
+        assert fields["payload"] == "hazard-warning"
+        assert fields["lifetime"] == pytest.approx(60.0)
+        assert fields["rhl"] == 10
+
+    def test_rhl_is_plain_header_byte(self):
+        """The wire layout itself exhibits vulnerability #3: RHL sits in the
+        unprotected basic header, before any signed content."""
+        data = bytearray(self.make(rhl=10))
+        data[2] = 1  # flip RHL to 1 in place
+        fields = wire.decode_gbc(bytes(data))
+        assert fields["rhl"] == 1
+        assert fields["payload"] == "hazard-warning"  # body untouched
+
+    def test_size_matches_accounting(self):
+        payload = "some payload with bytes"
+        assert len(self.make(payload)) == wire.gbc_size(payload)
+
+    def test_unicode_payload(self):
+        fields = wire.decode_gbc(self.make(payload="warnung-überholen"))
+        assert fields["payload"] == "warnung-überholen"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_gbc(self.make()[:-80])
+
+
+class TestSizes:
+    def test_beacon_fits_dsrc_frame(self):
+        assert wire.beacon_size() < 200
+
+    def test_encryption_overhead_positive(self):
+        assert wire.ENCRYPTION_OVERHEAD > 0
+
+
+class TestGucCodec:
+    def make(self, rhl=10):
+        return wire.encode_guc(
+            source_addr=11,
+            sequence_number=77,
+            source_pv=pv(),
+            dest_addr=22,
+            dest_position=Position(2000.0, 5.0),
+            payload="unicast-payload",
+            lifetime=60.0,
+            created_at=1.25,
+            rhl=rhl,
+        )
+
+    def test_round_trip(self):
+        fields = wire.decode_guc(self.make())
+        assert fields["source_addr"] == 11
+        assert fields["dest_addr"] == 22
+        assert fields["dest_position"].x == pytest.approx(2000.0)
+        assert fields["payload"] == "unicast-payload"
+        assert fields["rhl"] == 10
+
+    def test_type_checked(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_gbc(self.make())
+
+    def test_rhl_mutable_in_header(self):
+        data = bytearray(self.make(rhl=9))
+        data[2] = 2
+        assert wire.decode_guc(bytes(data))["rhl"] == 2
+
+
+class TestLsRequestCodec:
+    def test_round_trip(self):
+        data = wire.encode_ls_request(
+            source_addr=5,
+            sequence_number=3,
+            source_pv=pv(),
+            target_addr=99,
+            created_at=8.5,
+            rhl=10,
+        )
+        fields = wire.decode_ls_request(data)
+        assert fields["source_addr"] == 5
+        assert fields["target_addr"] == 99
+        assert fields["created_at"] == pytest.approx(8.5)
+        assert fields["rhl"] == 10
+
+    def test_truncation_rejected(self):
+        data = wire.encode_ls_request(
+            source_addr=5,
+            sequence_number=3,
+            source_pv=pv(),
+            target_addr=99,
+            created_at=8.5,
+            rhl=10,
+        )
+        with pytest.raises(wire.WireError):
+            wire.decode_ls_request(data[:20])
+
+
+class TestShbCodec:
+    def test_round_trip(self):
+        data = wire.encode_shb(
+            source_addr=8, sequence_number=2, pv=pv(), payload="cam"
+        )
+        fields = wire.decode_shb(data)
+        assert fields["source_addr"] == 8
+        assert fields["sequence_number"] == 2
+        assert fields["payload"] == "cam"
+
+    def test_size_matches_accounting(self):
+        data = wire.encode_shb(
+            source_addr=8, sequence_number=2, pv=pv(), payload="cam-payload"
+        )
+        assert len(data) == wire.shb_size("cam-payload")
+
+    def test_type_checked(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_shb(wire.encode_beacon(1, pv()))

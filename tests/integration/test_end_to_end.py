@@ -1,0 +1,157 @@
+"""End-to-end integration tests: miniature versions of the paper's claims.
+
+These run full worlds (traffic + radio + GeoNetworking + attacker) at
+reduced scale and assert the *direction* of every headline effect.  They are
+the slowest tests in the suite (a few seconds each).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_ab
+from repro.experiments.world import World
+
+
+def inter_config(**overrides):
+    config = ExperimentConfig.inter_area_default(duration=30.0, seed=21)
+    road = dataclasses.replace(config.road, length=2500.0)
+    return config.with_(road=road, **overrides)
+
+
+def intra_config(**overrides):
+    config = ExperimentConfig.intra_area_default(duration=30.0, seed=21)
+    road = dataclasses.replace(config.road, length=2500.0)
+    return config.with_(road=road, **overrides)
+
+
+class TestInterAreaEndToEnd:
+    def test_attack_reduces_reception(self):
+        ab = run_ab(inter_config(), runs=1)
+        assert ab.atk_overall < ab.af_overall
+
+    def test_median_nlos_attacker_intercepts_nearly_everything(self):
+        config = inter_config()
+        config = config.with_(
+            attack=dataclasses.replace(config.attack, attack_range=486.0)
+        )
+        ab = run_ab(config, runs=1)
+        assert ab.atk_overall <= 0.05
+        assert ab.af_overall > 0.2
+
+    def test_larger_attack_range_does_not_weaken_the_attack(self):
+        drops = {}
+        for attack_range in (327.0, 486.0):
+            config = inter_config()
+            config = config.with_(
+                attack=dataclasses.replace(
+                    config.attack, attack_range=attack_range
+                )
+            )
+            drops[attack_range] = run_ab(config, runs=1).drop_rate()
+        assert drops[486.0] >= drops[327.0] - 0.05
+
+    def test_attacker_triggers_unicast_losses(self):
+        world = World(inter_config(), attacked=True, seed=5)
+        world.run()
+        baseline = World(inter_config(), attacked=False, seed=5)
+        baseline.run()
+        assert (
+            world.channel.stats.unicast_lost
+            > baseline.channel.stats.unicast_lost
+        )
+
+    def test_plausibility_check_recovers_reception(self):
+        config = inter_config()
+        config = config.with_(
+            attack=dataclasses.replace(config.attack, attack_range=486.0)
+        )
+        plain = run_ab(config, runs=1)
+        mitigated = run_ab(
+            config.with_(
+                geonet=config.geonet.with_mitigations(plausibility_check=True)
+            ),
+            runs=1,
+        )
+        assert mitigated.atk_overall > plain.atk_overall + 0.2
+
+    def test_plausibility_check_helps_even_attack_free(self):
+        config = inter_config()
+        plain = run_ab(config, runs=1)
+        mitigated = run_ab(
+            config.with_(
+                geonet=config.geonet.with_mitigations(plausibility_check=True)
+            ),
+            runs=1,
+        )
+        assert mitigated.af_overall >= plain.af_overall
+
+
+class TestIntraAreaEndToEnd:
+    def test_attack_free_flood_reaches_nearly_everyone(self):
+        ab = run_ab(intra_config(), runs=1)
+        assert ab.af_overall > 0.9
+
+    def test_attack_blocks_a_third_of_the_road(self):
+        ab = run_ab(intra_config(), runs=1)
+        assert 0.1 < ab.drop_rate() < 0.7
+
+    def test_los_range_attacker_is_weaker_than_nlos_median(self):
+        drops = {}
+        for attack_range in (486.0, 1283.0):
+            config = intra_config()
+            config = config.with_(
+                attack=dataclasses.replace(
+                    config.attack, attack_range=attack_range
+                )
+            )
+            drops[attack_range] = run_ab(config, runs=1).drop_rate()
+        assert drops[1283.0] < drops[486.0]
+
+    def test_rhl_check_restores_reception(self):
+        config = intra_config()
+        plain = run_ab(config, runs=1)
+        mitigated = run_ab(
+            config.with_(geonet=config.geonet.with_mitigations(rhl_check=True)),
+            runs=1,
+        )
+        assert mitigated.atk_overall > plain.atk_overall
+        assert mitigated.atk_overall >= plain.af_overall - 0.15
+
+    def test_blockage_is_directional(self):
+        """Vehicles between the source and the attacker still receive; the
+        blocked share is beyond the attacker."""
+        world = World(intra_config(), attacked=True, seed=33)
+        metrics = world.run()
+        partial = [o for o in metrics.outcomes if 0.05 < o.success < 0.95]
+        assert partial  # floods are cut, not annihilated
+
+
+class TestFailureInjection:
+    def test_runs_survive_nodes_leaving_mid_flood(self):
+        """Vehicles retire during active floods without breaking timers."""
+        config = intra_config()
+        world = World(config, attacked=False, seed=8)
+        world.run()
+        # No stale state: every remaining node's buffers drain.
+        for node in world.nodes.values():
+            assert not node.is_shut_down
+
+    def test_world_with_sparse_traffic_still_completes(self):
+        config = intra_config()
+        config = config.with_(
+            road=dataclasses.replace(config.road, inter_vehicle_space=300.0)
+        )
+        ab = run_ab(config, runs=1)
+        assert ab.af_overall >= 0.0  # completes without exceptions
+
+    def test_zero_vehicle_world(self):
+        config = inter_config()
+        config = config.with_(
+            road=dataclasses.replace(
+                config.road, prepopulate=False, spawn=False
+            )
+        )
+        world = World(config, attacked=True, seed=1)
+        metrics = world.run()
+        assert metrics.outcomes == []

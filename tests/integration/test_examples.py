@@ -1,0 +1,52 @@
+"""Smoke tests that the runnable examples actually run."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "attack-free baseline" in out
+    assert "CBF flood reached 10/10 vehicles" in out
+    assert "blocked vehicles:" in out
+
+
+def test_collision_avoidance_example():
+    out = run_example("collision_avoidance.py")
+    assert "COLLISION" in out
+    assert "no collision" in out
+
+
+def test_custom_protocol_tuning_example():
+    out = run_example("custom_protocol_tuning.py")
+    assert "TO_MAX" in out
+    assert "100%" in out
+
+
+@pytest.mark.slow
+def test_hazard_warning_example():
+    out = run_example("hazard_warning.py", "40")
+    assert "Fig12 case 2" in out
+
+
+@pytest.mark.slow
+def test_mitigation_evaluation_example():
+    out = run_example("mitigation_evaluation.py", "20", "1")
+    assert "plausibility check" in out
+    assert "RHL-drop check" in out

@@ -1,0 +1,148 @@
+"""Tests for carrier sense (CSMA) on the broadcast channel."""
+
+import pytest
+
+from repro.geo.position import Position
+from repro.radio.channel import BroadcastChannel, RadioInterface
+from repro.radio.frames import FrameKind
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+def make_channel():
+    sim = Simulator()
+    channel = BroadcastChannel(sim, RandomStreams(4))
+    return sim, channel
+
+
+def add_iface(channel, x, tx_range=400.0):
+    iface = RadioInterface(lambda: Position(x, 0.0), tx_range)
+    iface.attach(lambda f: None)
+    channel.register(iface)
+    return iface
+
+
+def test_medium_idle_before_any_transmission():
+    _sim, channel = make_channel()
+    assert not channel.medium_busy(Position(0, 0))
+
+
+def test_medium_busy_during_airtime_within_range():
+    sim, channel = make_channel()
+    sender = add_iface(channel, 0)
+    sender.send(FrameKind.BEACON, "x")
+    assert channel.medium_busy(Position(100, 0))
+    assert channel.medium_busy(Position(400, 0))  # boundary inclusive
+
+
+def test_medium_idle_outside_transmission_range():
+    sim, channel = make_channel()
+    sender = add_iface(channel, 0)
+    sender.send(FrameKind.BEACON, "x")
+    assert not channel.medium_busy(Position(500, 0))
+
+
+def test_medium_clears_after_airtime():
+    sim, channel = make_channel()
+    sender = add_iface(channel, 0)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(channel.base_latency + 0.001)
+    assert not channel.medium_busy(Position(100, 0))
+
+
+def test_cbf_contender_defers_while_medium_busy():
+    """A CBF contender whose timer expires during a peer transmission
+    defers, receives the duplicate, and never re-broadcasts."""
+    from repro.geo.areas import RectangularArea
+    from repro.geo.position import PositionVector
+    from repro.geonet.cbf import CbfForwarder
+    from repro.geonet.config import GeoNetConfig
+    from repro.geonet.packets import GbcBody, GeoBroadcastPacket
+    from repro.security.ca import CertificateAuthority
+    from repro.security.signing import sign
+    import random
+
+    sim = Simulator()
+    config = GeoNetConfig(dist_max=1283.0, cbf_timer_jitter=0.0)
+    body = GbcBody(
+        source_addr=1,
+        sequence_number=1,
+        source_pv=PositionVector(Position(0, 0), 0.0, 0.0, 0.0),
+        area=RectangularArea(-100, 5000, -50, 50),
+        payload="x",
+        lifetime=60.0,
+        created_at=0.0,
+    )
+    packet = GeoBroadcastPacket(
+        signed=sign(body, CertificateAuthority().enroll("s")),
+        rhl=10,
+        sender_addr=1,
+        sender_position=Position(0, 0),
+    )
+    busy = {"flag": False}
+    broadcasts = []
+    cbf = CbfForwarder(
+        sim=sim,
+        config=config,
+        get_position=lambda: Position(300, 0),
+        deliver=lambda p: None,
+        broadcast=lambda p, rhl: broadcasts.append(rhl),
+        rng=random.Random(1),
+        medium_busy=lambda: busy["flag"],
+    )
+    cbf.handle_broadcast(packet)
+    busy["flag"] = True  # someone else is on the air at expiry time
+    sim.run_until(0.09)  # past the base timer (~77 ms): deferring
+    assert broadcasts == []
+    assert cbf.stats.csma_defers >= 1
+    # The in-flight transmission turns out to be a duplicate: cancel.
+    duplicate = packet.next_hop_copy(
+        rhl=9, sender_addr=2, sender_position=Position(400, 0)
+    )
+    cbf.handle_broadcast(duplicate)
+    busy["flag"] = False
+    sim.run_until(0.5)
+    assert broadcasts == []
+    assert cbf.stats.suppressed_by_duplicate == 1
+
+
+def test_cbf_defer_is_bounded():
+    """A permanently busy medium cannot park a packet forever."""
+    from repro.geo.areas import RectangularArea
+    from repro.geo.position import PositionVector
+    from repro.geonet.cbf import _MAX_CSMA_DEFERS, CbfForwarder
+    from repro.geonet.config import GeoNetConfig
+    from repro.geonet.packets import GbcBody, GeoBroadcastPacket
+    from repro.security.ca import CertificateAuthority
+    from repro.security.signing import sign
+
+    sim = Simulator()
+    config = GeoNetConfig(dist_max=1283.0)
+    body = GbcBody(
+        source_addr=1,
+        sequence_number=1,
+        source_pv=PositionVector(Position(0, 0), 0.0, 0.0, 0.0),
+        area=RectangularArea(-100, 5000, -50, 50),
+        payload="x",
+        lifetime=60.0,
+        created_at=0.0,
+    )
+    packet = GeoBroadcastPacket(
+        signed=sign(body, CertificateAuthority().enroll("s")),
+        rhl=10,
+        sender_addr=1,
+        sender_position=Position(0, 0),
+    )
+    broadcasts = []
+    cbf = CbfForwarder(
+        sim=sim,
+        config=config,
+        get_position=lambda: Position(300, 0),
+        deliver=lambda p: None,
+        broadcast=lambda p, rhl: broadcasts.append(rhl),
+        medium_busy=lambda: True,  # pathologically busy forever
+    )
+    cbf.handle_broadcast(packet)
+    sim.run_until(5.0)
+    assert broadcasts == [9]  # transmitted anyway after the defer cap
+    assert cbf.stats.csma_defers == _MAX_CSMA_DEFERS

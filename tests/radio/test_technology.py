@@ -1,0 +1,50 @@
+"""Tests for the Table II radio technologies."""
+
+import pytest
+
+from repro.radio.technology import CV2X, DSRC, RadioTechnology, RangeClass, TECHNOLOGIES
+
+
+def test_dsrc_table2_values():
+    assert DSRC.los_median_m == 1283.0
+    assert DSRC.nlos_median_m == 486.0
+    assert DSRC.nlos_worst_m == 327.0
+
+
+def test_cv2x_table2_values():
+    assert CV2X.los_median_m == 1703.0
+    assert CV2X.nlos_median_m == 593.0
+    assert CV2X.nlos_worst_m == 359.0
+
+
+def test_vehicle_range_is_nlos_median():
+    assert DSRC.vehicle_range_m == 486.0
+    assert CV2X.vehicle_range_m == 593.0
+
+
+def test_max_range_is_los_median():
+    assert DSRC.max_range_m == 1283.0
+
+
+def test_range_for_each_class():
+    assert DSRC.range_for(RangeClass.LOS_MEDIAN) == 1283.0
+    assert DSRC.range_for(RangeClass.NLOS_MEDIAN) == 486.0
+    assert DSRC.range_for(RangeClass.NLOS_WORST) == 327.0
+
+
+def test_invalid_range_ordering_rejected():
+    with pytest.raises(ValueError):
+        RadioTechnology("bad", los_median_m=100, nlos_median_m=200, nlos_worst_m=50)
+    with pytest.raises(ValueError):
+        RadioTechnology("bad", los_median_m=100, nlos_median_m=50, nlos_worst_m=60)
+
+
+def test_technology_lookup():
+    assert TECHNOLOGIES["DSRC"] is DSRC
+    assert TECHNOLOGIES["C-V2X"] is CV2X
+
+
+def test_nlos_shorter_than_los_for_both():
+    for tech in (DSRC, CV2X):
+        assert tech.nlos_median_m < tech.los_median_m
+        assert tech.nlos_worst_m <= tech.nlos_median_m

@@ -1,0 +1,61 @@
+"""Tests for the certificate authority."""
+
+from repro.security.ca import CertificateAuthority
+
+
+def test_enroll_returns_usable_credentials():
+    ca = CertificateAuthority()
+    creds = ca.enroll("v1")
+    assert creds.certificate.subject_id == "v1"
+    assert creds.private_token
+    assert creds.certificate.public_token != creds.private_token
+
+
+def test_certificate_verifies_against_issuer():
+    ca = CertificateAuthority()
+    creds = ca.enroll("v1")
+    assert ca.verify_certificate(creds.certificate)
+
+
+def test_certificate_rejected_by_other_ca():
+    ca1 = CertificateAuthority(name="CA-1", secret="s1")
+    ca2 = CertificateAuthority(name="CA-2", secret="s2")
+    creds = ca1.enroll("v1")
+    assert not ca2.verify_certificate(creds.certificate)
+
+
+def test_tampered_certificate_rejected():
+    from dataclasses import replace
+
+    ca = CertificateAuthority()
+    cert = ca.enroll("v1").certificate
+    tampered = replace(cert, subject_id="someone-else")
+    assert not ca.verify_certificate(tampered)
+
+
+def test_same_ca_name_different_secret_rejected():
+    real = CertificateAuthority(name="USDOT-CA", secret="real")
+    fake = CertificateAuthority(name="USDOT-CA", secret="guessed")
+    cert = fake.enroll("mallory").certificate
+    assert not real.verify_certificate(cert)
+
+
+def test_reenrollment_issues_fresh_keypair():
+    ca = CertificateAuthority()
+    first = ca.enroll("v1")
+    second = ca.enroll("v1")
+    assert first.certificate.public_token != second.certificate.public_token
+
+
+def test_issued_count_tracks_subjects():
+    ca = CertificateAuthority()
+    ca.enroll("a")
+    ca.enroll("b")
+    ca.enroll("a")  # renewal, same subject
+    assert ca.issued_count == 2
+
+
+def test_distinct_subjects_get_distinct_tokens():
+    ca = CertificateAuthority()
+    tokens = {ca.enroll(f"v{i}").certificate.public_token for i in range(20)}
+    assert len(tokens) == 20

@@ -1,0 +1,30 @@
+"""Tests for pseudonymous addresses."""
+
+import random
+
+from repro.security.pseudonym import PSEUDONYM_FLOOR, PseudonymPool
+
+
+def test_draws_are_unique():
+    pool = PseudonymPool(random.Random(1))
+    drawn = {pool.draw() for _ in range(200)}
+    assert len(drawn) == 200
+    assert pool.issued == 200
+
+
+def test_draws_in_pseudonym_range():
+    pool = PseudonymPool(random.Random(2))
+    for _ in range(20):
+        assert PseudonymPool.is_pseudonym(pool.draw())
+
+
+def test_static_addresses_not_pseudonyms():
+    assert not PseudonymPool.is_pseudonym(1)
+    assert not PseudonymPool.is_pseudonym(PSEUDONYM_FLOOR - 1)
+    assert PseudonymPool.is_pseudonym(PSEUDONYM_FLOOR)
+
+
+def test_deterministic_for_same_seed():
+    a = PseudonymPool(random.Random(7)).draw()
+    b = PseudonymPool(random.Random(7)).draw()
+    assert a == b

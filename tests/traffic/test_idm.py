@@ -1,0 +1,106 @@
+"""Tests for the Intelligent Driver Model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.traffic.idm import (
+    IdmParameters,
+    desired_gap,
+    idm_acceleration,
+    idm_acceleration_array,
+)
+
+
+def test_table1_defaults():
+    params = IdmParameters()
+    assert params.desired_velocity == 30.0
+    assert params.safe_time_headway == 1.5
+    assert params.max_acceleration == 1.0
+    assert params.comfortable_deceleration == 3.0
+    assert params.acceleration_exponent == 4.0
+    assert params.minimum_distance == 2.0
+    assert params.vehicle_length == 4.5
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        IdmParameters(desired_velocity=0)
+    with pytest.raises(ValueError):
+        IdmParameters(acceleration_exponent=0.5)
+    with pytest.raises(ValueError):
+        IdmParameters(minimum_distance=-1)
+
+
+def test_free_road_accelerates_below_desired_speed():
+    params = IdmParameters()
+    assert idm_acceleration(10.0, math.inf, 0.0, params) > 0
+
+
+def test_free_road_zero_accel_at_desired_speed():
+    params = IdmParameters()
+    assert idm_acceleration(30.0, math.inf, 0.0, params) == pytest.approx(0.0)
+
+
+def test_decelerates_above_desired_speed():
+    params = IdmParameters()
+    assert idm_acceleration(35.0, math.inf, 0.0, params) < 0
+
+
+def test_standstill_at_minimum_distance_stays_put():
+    params = IdmParameters()
+    a = idm_acceleration(0.0, params.minimum_distance, 0.0, params)
+    assert a <= 0.0  # never pulls forward into the minimum gap
+
+
+def test_small_gap_brakes_hard():
+    params = IdmParameters()
+    a = idm_acceleration(30.0, 5.0, 0.0, params)
+    assert a < -5.0
+
+
+def test_approaching_slower_leader_decelerates():
+    params = IdmParameters()
+    fast_closing = idm_acceleration(30.0, 50.0, 10.0, params)
+    steady = idm_acceleration(30.0, 50.0, 30.0, params)
+    assert fast_closing < steady
+
+
+def test_desired_gap_grows_with_speed():
+    params = IdmParameters()
+    assert desired_gap(30.0, 0.0, params) > desired_gap(10.0, 0.0, params)
+
+
+def test_desired_gap_at_standstill_is_minimum_distance():
+    params = IdmParameters()
+    assert desired_gap(0.0, 0.0, params) == params.minimum_distance
+
+
+def test_array_matches_scalar():
+    params = IdmParameters()
+    speeds = np.array([0.0, 10.0, 30.0, 30.0])
+    gaps = np.array([math.inf, 50.0, 5.0, math.inf])
+    lead = np.array([0.0, 10.0, 0.0, 0.0])
+    batch = idm_acceleration_array(speeds, gaps, lead, params)
+    for i in range(len(speeds)):
+        scalar = idm_acceleration(speeds[i], gaps[i], lead[i], params)
+        assert batch[i] == pytest.approx(scalar)
+
+
+def test_array_with_per_vehicle_desired_velocity():
+    params = IdmParameters()
+    speeds = np.array([30.0, 30.0])
+    gaps = np.array([math.inf, math.inf])
+    lead = np.zeros(2)
+    desired = np.array([30.0, 33.0])
+    out = idm_acceleration_array(speeds, gaps, lead, params, desired)
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] > 0  # wants to go faster than 30
+
+
+def test_zero_gap_does_not_blow_up():
+    params = IdmParameters()
+    a = idm_acceleration(10.0, 0.0, 0.0, params)
+    assert math.isfinite(a)
+    assert a < -10  # emergency-level braking
