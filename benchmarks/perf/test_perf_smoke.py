@@ -1,0 +1,61 @@
+"""Smoke test for the perf harness (run with ``pytest -m perf``).
+
+Excluded from tier-1 (the default test paths don't collect ``benchmarks/``
+and the ``perf`` marker keeps it opt-in even when this directory is given
+explicitly).  Asserts the harness's --quick mode finishes fast and emits
+well-formed JSON — it does not assert any speedup, since CI machines vary.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+HARNESS = Path(__file__).parent / "bench_channel.py"
+
+
+def test_quick_harness_emits_valid_json_under_30s(tmp_path):
+    out_path = tmp_path / "bench.json"
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, str(HARNESS), "--quick", "--out", str(out_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    elapsed = time.perf_counter() - t0
+    assert proc.returncode == 0, proc.stderr
+    assert elapsed < 30.0, f"--quick harness took {elapsed:.1f}s"
+
+    report = json.loads(out_path.read_text())
+    assert report == json.loads(proc.stdout)  # stdout mirrors the file
+    assert report["meta"]["mode"] == "quick"
+    for section in (
+        "pre_change_reference",
+        "dense_channel_microbenchmark",
+        "neighbor_query_scaling",
+        "world_runs",
+        "summary",
+    ):
+        assert section in report, f"missing section {section}"
+
+    dense = report["dense_channel_microbenchmark"]
+    for mode in ("grid", "scan"):
+        for metric in (
+            "transmit_call_us",
+            "receivers_for_us",
+            "end_to_end_tx_per_s",
+        ):
+            assert dense[mode][metric] > 0
+
+    # grid and scan World runs must stay behaviorally identical
+    for entry in report["world_runs"]["by_spacing"].values():
+        assert entry["grid"]["frames_sent"] == entry["scan"]["frames_sent"]

@@ -115,6 +115,9 @@ class ExperimentConfig:
     #: Independent per-receiver frame-loss probability (0 = ideal channel,
     #: the paper's setting); used by robustness ablations.
     channel_loss_rate: float = 0.0
+    #: Use the grid-backed receiver lookup (False = linear-scan fallback,
+    #: kept for A/B benchmarking and equivalence tests).
+    channel_use_spatial_index: bool = True
     seed: int = 1
     label: str = ""
 

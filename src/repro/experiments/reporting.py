@@ -1,16 +1,91 @@
-"""Text reporting: paper-style tables and series for every figure."""
+"""Text reporting: paper-style tables and series for every figure, plus
+performance snapshots (events/sec, transmits/sec, receivers-per-frame)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.experiments.runner import AbResult
+from repro.experiments.runner import AbResult, RunResult
 
 
 def fmt_pct(value: Optional[float]) -> str:
     """Format a ratio as a percentage, n/a-safe."""
     return f"{value:6.1%}" if value is not None else "   n/a"
+
+
+@dataclass(frozen=True)
+class PerfSnapshot:
+    """Hot-path performance counters of one run.
+
+    Built from the :class:`~repro.sim.engine.Simulator` and
+    :class:`~repro.radio.channel.ChannelStats` counters the run accumulated
+    — no external profiler involved.  ``mean_candidates_per_frame`` is the
+    average number of candidate receivers the channel examined per
+    transmit: with the spatial index it tracks the ~k in-range neighbors
+    instead of the N registered interfaces.
+    """
+
+    events_fired: int
+    wall_time_s: float
+    frames_sent: int
+    frames_delivered: int
+    mean_receivers_per_frame: float
+    mean_candidates_per_frame: float
+
+    @classmethod
+    def from_world(cls, world) -> "PerfSnapshot":
+        """Snapshot a (finished) :class:`~repro.experiments.world.World`."""
+        stats = world.channel.stats
+        return cls(
+            events_fired=world.sim.events_fired,
+            wall_time_s=world.sim.wall_time_s,
+            frames_sent=stats.frames_sent,
+            frames_delivered=stats.frames_delivered,
+            mean_receivers_per_frame=stats.mean_receivers_per_frame,
+            mean_candidates_per_frame=stats.mean_candidates_per_frame,
+        )
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "PerfSnapshot":
+        """Rebuild a snapshot from a :class:`RunResult`'s extras."""
+        extras = run.extras
+        return cls(
+            events_fired=int(extras.get("events_fired", 0)),
+            wall_time_s=float(extras.get("wall_time_s", 0.0)),
+            frames_sent=int(extras.get("frames_sent", 0)),
+            frames_delivered=int(extras.get("frames_delivered", 0)),
+            mean_receivers_per_frame=float(
+                extras.get("mean_receivers_per_frame", 0.0)
+            ),
+            mean_candidates_per_frame=float(
+                extras.get("mean_candidates_per_frame", 0.0)
+            ),
+        )
+
+    @property
+    def events_per_sec(self) -> float:
+        """Fired events per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.events_fired / self.wall_time_s
+
+    @property
+    def transmits_per_sec(self) -> float:
+        """Channel transmits per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.frames_sent / self.wall_time_s
+
+    def format(self) -> str:
+        """One perf line, e.g. for appending under a figure table."""
+        return (
+            f"  perf: {self.events_fired} events in {self.wall_time_s:.2f}s "
+            f"({self.events_per_sec:,.0f} ev/s, "
+            f"{self.transmits_per_sec:,.0f} tx/s), "
+            f"rx/frame={self.mean_receivers_per_frame:.1f}, "
+            f"candidates/frame={self.mean_candidates_per_frame:.1f}"
+        )
 
 
 @dataclass

@@ -42,11 +42,18 @@ def run_single(
     """Build a world, run it, and summarise."""
     world = World(config, attacked=attacked, seed=seed)
     metrics = world.run()
+    stats = world.channel.stats
     extras: Dict[str, float] = {
-        "frames_sent": float(world.channel.stats.frames_sent),
-        "frames_delivered": float(world.channel.stats.frames_delivered),
-        "unicast_lost": float(world.channel.stats.unicast_lost),
+        "frames_sent": float(stats.frames_sent),
+        "frames_delivered": float(stats.frames_delivered),
+        "unicast_lost": float(stats.unicast_lost),
         "vehicles_final": float(world.traffic.count_on_road()),
+        # perf counters (see repro.experiments.reporting.PerfSnapshot)
+        "events_fired": float(world.sim.events_fired),
+        "wall_time_s": world.sim.wall_time_s,
+        "events_per_wall_sec": world.sim.events_per_wall_sec,
+        "mean_receivers_per_frame": stats.mean_receivers_per_frame,
+        "mean_candidates_per_frame": stats.mean_candidates_per_frame,
     }
     if world.attacker is not None:
         extras["replays_sent"] = float(world.attacker.stats.replays_sent)

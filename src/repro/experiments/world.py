@@ -53,7 +53,10 @@ class World:
         self.streams = RandomStreams(self.seed)
         self.ca = CertificateAuthority()
         self.channel = BroadcastChannel(
-            self.sim, self.streams, loss_rate=config.channel_loss_rate
+            self.sim,
+            self.streams,
+            loss_rate=config.channel_loss_rate,
+            use_spatial_index=config.channel_use_spatial_index,
         )
 
         # --- road traffic ------------------------------------------------
@@ -160,6 +163,7 @@ class World:
     def _detach_node(self, vehicle: Vehicle) -> None:
         node = self.nodes.pop(vehicle.vehicle_id, None)
         if node is not None:
+            self.node_by_addr.pop(node.address, None)
             node.shutdown()
 
     def _build_destinations(self) -> None:
@@ -183,6 +187,7 @@ class World:
             )
             node.router.on_deliver.append(self._on_deliver)
             self.dest_nodes.append(node)
+            self.node_by_addr[node.address] = node
 
     def _build_attacker(self) -> RoadsideAttacker:
         cfg = self.config.attack
@@ -318,3 +323,16 @@ class World:
     def vehicles_on_road(self, direction: Optional[Direction] = None) -> int:
         """Convenience passthrough for impact studies."""
         return self.traffic.count_on_road(direction)
+
+    def nodes_near(self, position: Position, radius: float) -> List[GeoNode]:
+        """GeoNodes whose radios are within ``radius`` of ``position``.
+
+        Reuses the channel's spatial index (the one every transmit
+        consults), so the lookup is O(k) in the ~k nearby nodes; results
+        are in interface registration order.
+        """
+        return [
+            node
+            for iface in self.channel.neighbors_within(position, radius)
+            if (node := self.node_by_addr.get(iface.address)) is not None
+        ]

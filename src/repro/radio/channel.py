@@ -18,10 +18,22 @@ disk at the technology's NLoS-median range.
 
 Unicast frames are delivered to the addressee only (if in range), but
 promiscuous interfaces overhear them — radio is a broadcast medium.
+
+Receiver lookup is served by a :class:`~repro.radio.spatial.SpatialGrid`
+keyed on the interfaces' cached positions, so a transmit only examines the
+~k interfaces near the sender instead of scanning all N registered ones.
+The grid is maintained incrementally — interfaces are inserted/removed on
+register/unregister and *moved* (usually within their current cell) when
+:meth:`BroadcastChannel.invalidate_positions` marks the cache stale.
+Deliveries happen in interface *registration order* regardless of how the
+grid buckets candidates, which keeps RNG draw order — and therefore whole
+fixed-seed runs — identical to the plain linear-scan implementation
+(available as ``use_spatial_index=False`` for A/B benchmarking).
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -30,10 +42,14 @@ import numpy as np
 
 from repro.geo.position import Position
 from repro.radio.frames import Frame, FrameKind
+from repro.radio.spatial import SpatialGrid
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 
 _address_counter = itertools.count(1)
+
+#: Fallback grid cell size when no registered interface implies one.
+_DEFAULT_CELL_SIZE = 500.0
 
 
 def allocate_address() -> int:
@@ -66,6 +82,13 @@ class RadioInterface:
         self.promiscuous = promiscuous
         self.handler: Optional[Callable[[Frame], None]] = None
         self.channel: Optional["BroadcastChannel"] = None
+        #: Channel-assigned registration sequence; fixes delivery order.
+        self._reg_order = -1
+        #: ``(reg_order, self)`` — the object stored in the spatial grid.
+        #: Keeping the sequence number inside the grid item lets the channel
+        #: sort raw query results into delivery order without building a
+        #: second candidate list per transmit.
+        self._grid_item: Optional[tuple] = None
 
     def attach(self, handler: Callable[[Frame], None]) -> None:
         """Register the receive callback for this interface."""
@@ -100,6 +123,9 @@ class ChannelStats:
     frames_delivered: int = 0
     frames_faded: int = 0
     unicast_lost: int = 0
+    #: Candidate receivers examined across all transmits (the cost the
+    #: spatial index shrinks from N per frame to ~k).
+    receiver_candidates: int = 0
     sent_by_kind: Dict[FrameKind, int] = field(default_factory=dict)
     delivered_by_kind: Dict[FrameKind, int] = field(default_factory=dict)
 
@@ -111,14 +137,28 @@ class ChannelStats:
         self.frames_delivered += count
         self.delivered_by_kind[kind] = self.delivered_by_kind.get(kind, 0) + count
 
+    @property
+    def mean_receivers_per_frame(self) -> float:
+        """Average deliveries per transmitted frame."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_delivered / self.frames_sent
+
+    @property
+    def mean_candidates_per_frame(self) -> float:
+        """Average candidate receivers examined per transmitted frame."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.receiver_candidates / self.frames_sent
+
 
 class BroadcastChannel:
     """The shared medium all radio interfaces are registered on.
 
-    Positions are cached in numpy arrays and refreshed when
-    :meth:`invalidate_positions` is called (the mobility loop calls it every
-    step); since node positions only change at mobility steps, the cache is
-    exact.
+    Positions are cached (in the spatial grid, or in numpy arrays for the
+    linear-scan fallback) and refreshed when :meth:`invalidate_positions`
+    is called (the mobility loop calls it every step); since node positions
+    only change at mobility steps, the cache is exact.
     """
 
     def __init__(
@@ -129,9 +169,13 @@ class BroadcastChannel:
         base_latency: float = 5e-4,
         latency_jitter: float = 2e-4,
         loss_rate: float = 0.0,
+        use_spatial_index: bool = True,
+        cell_size: Optional[float] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if cell_size is not None and cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
         self._sim = sim
         self._rng = streams.get("channel")
         self._loss_rng = streams.get("channel-loss")
@@ -141,10 +185,19 @@ class BroadcastChannel:
         self.loss_rate = loss_rate
         self._interfaces: List[RadioInterface] = []
         self._index_of: Dict[int, int] = {}
+        self._next_reg_order = 0
         self._obstructions: List[Callable[[Position, Position], bool]] = []
-        #: (end_time, x, y, range) of recent transmissions, for carrier sense.
+        #: Heap of (end_time, x, y, range) of in-flight transmissions, for
+        #: carrier sense; expired entries are popped from the top lazily.
         self._active_tx: List[tuple] = []
         self._positions_dirty = True
+        self._use_grid = use_spatial_index
+        self._cell_size = cell_size
+        self._grid: Optional[SpatialGrid] = None
+        #: link_range overrides by address; their max widens grid queries so
+        #: a long-eared mast is found beyond the sender's own tx range.
+        self._override_ranges: Dict[int, float] = {}
+        self._max_override = 0.0
         self._xs = np.empty(0)
         self._ys = np.empty(0)
         self._link_overrides = np.empty(0)
@@ -158,26 +211,51 @@ class BroadcastChannel:
         if iface.address in self._index_of:
             raise ValueError(f"address {iface.address} already registered")
         iface.channel = self
+        iface._reg_order = self._next_reg_order
+        iface._grid_item = (iface._reg_order, iface)
+        self._next_reg_order += 1
         self._index_of[iface.address] = len(self._interfaces)
         self._interfaces.append(iface)
+        if iface.link_range is not None:
+            self._override_ranges[iface.address] = iface.link_range
+            if iface.link_range > self._max_override:
+                self._max_override = iface.link_range
+        if self._grid is not None:
+            pos = iface.get_position()
+            self._grid.insert(iface._grid_item, pos.x, pos.y)
         self._positions_dirty = True
 
     def unregister(self, iface: RadioInterface) -> None:
-        """Detach an interface (e.g. a vehicle leaving the road)."""
+        """Detach an interface (e.g. a vehicle leaving the road).
+
+        Swap-remove: the last interface takes the departing one's slot, so
+        a departure costs O(1) instead of rebuilding the whole index.  (The
+        interface list no longer tracks registration order — delivery order
+        comes from each interface's registration sequence number.)
+        """
         idx = self._index_of.pop(iface.address, None)
         if idx is None:
             return
-        self._interfaces.pop(idx)
-        self._index_of = {
-            member.address: i for i, member in enumerate(self._interfaces)
-        }
+        last = self._interfaces.pop()
+        if last is not iface:
+            self._interfaces[idx] = last
+            self._index_of[last.address] = idx
+        if self._grid is not None and iface._grid_item in self._grid:
+            self._grid.remove(iface._grid_item)
+        override = self._override_ranges.pop(iface.address, None)
+        if override is not None and override >= self._max_override:
+            self._max_override = max(
+                self._override_ranges.values(), default=0.0
+            )
         iface.channel = None
         self._positions_dirty = True
 
     @property
     def interfaces(self) -> tuple:
-        """A snapshot of currently registered interfaces."""
-        return tuple(self._interfaces)
+        """A snapshot of registered interfaces, in registration order."""
+        return tuple(
+            sorted(self._interfaces, key=lambda iface: iface._reg_order)
+        )
 
     def add_obstruction(
         self, blocks: Callable[[Position, Position], bool]
@@ -189,18 +267,53 @@ class BroadcastChannel:
         """Mark the cached position arrays stale (call after mobility steps)."""
         self._positions_dirty = True
 
-    def _refresh_positions(self) -> None:
-        n = len(self._interfaces)
-        xs = np.empty(n)
-        ys = np.empty(n)
-        link = np.full(n, np.nan)
-        for i, iface in enumerate(self._interfaces):
-            pos = iface.get_position()
-            xs[i] = pos.x
-            ys[i] = pos.y
+    # ------------------------------------------------------------------
+    # position cache
+    # ------------------------------------------------------------------
+    def _auto_cell_size(self) -> float:
+        """Cell size = max link range over registered interfaces.
+
+        With cell >= every query radius, a disc query touches at most a 3×3
+        cell neighborhood (see :mod:`repro.radio.spatial`).  Interfaces that
+        register later with longer ranges stay correct — queries just walk
+        more cells.
+        """
+        best = 0.0
+        for iface in self._interfaces:
+            best = max(best, iface.tx_range)
             if iface.link_range is not None:
-                link[i] = iface.link_range
-        self._xs, self._ys, self._link_overrides = xs, ys, link
+                best = max(best, iface.link_range)
+        return best if best > 0 else _DEFAULT_CELL_SIZE
+
+    def _refresh_positions(self) -> None:
+        if self._use_grid:
+            grid = self._grid
+            if grid is None:
+                grid = self._grid = SpatialGrid(
+                    self._cell_size
+                    if self._cell_size is not None
+                    else self._auto_cell_size()
+                )
+                for iface in self._interfaces:
+                    pos = iface.get_position()
+                    grid.insert(iface._grid_item, pos.x, pos.y)
+            else:
+                move = grid.move
+                for iface in self._interfaces:
+                    pos = iface.get_position()
+                    move(iface._grid_item, pos.x, pos.y)
+        else:
+            n = len(self._interfaces)
+            xs = np.empty(n)
+            ys = np.empty(n)
+            link = np.full(n, np.nan)
+            for i, iface in enumerate(self._interfaces):
+                pos = iface.get_position()
+                xs[i] = pos.x
+                ys[i] = pos.y
+                if iface.link_range is not None:
+                    link[i] = iface.link_range
+            self._xs, self._ys, self._link_overrides = xs, ys, link
         self._positions_dirty = False
 
     # ------------------------------------------------------------------
@@ -231,8 +344,9 @@ class BroadcastChannel:
             dest_addr=dest_addr,
         )
         self.stats.record_sent(kind)
-        self._active_tx.append(
-            (self._sim.now + self.base_latency, tx_pos.x, tx_pos.y, eff_range)
+        heapq.heappush(
+            self._active_tx,
+            (self._sim.now + self.base_latency, tx_pos.x, tx_pos.y, eff_range),
         )
         receivers = self._receivers_for(frame, sender)
         if frame.dest_addr is not None and not any(
@@ -240,42 +354,97 @@ class BroadcastChannel:
         ):
             self.stats.unicast_lost += 1
         delivered = 0
+        # Hot loop: one scheduled delivery per receiver.  The jitter draw is
+        # ``uniform(0, j)`` inlined as ``j * random()`` (bit-identical: the
+        # stdlib computes ``0 + (j - 0) * random()``), consuming exactly one
+        # draw per receiver as before.
+        base = self.base_latency
+        jitter = self.latency_jitter
+        rng_random = self._rng.random
+        loss_rate = self.loss_rate
+        loss_random = self._loss_rng.random
+        schedule_fire = self._sim.schedule_fire
         for iface in receivers:
-            if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            if loss_rate > 0.0 and loss_random() < loss_rate:
                 self.stats.frames_faded += 1
                 continue
             delivered += 1
-            latency = self.base_latency + self._rng.uniform(0, self.latency_jitter)
-            self._sim.schedule(latency, iface.deliver, frame)
+            schedule_fire(base + jitter * rng_random(), iface.deliver, frame)
         self.stats.record_delivered(kind, delivered)
         return frame
+
+    def _candidates(self, position: Position, radius: float) -> List[tuple]:
+        """``((reg_order, iface), dist_sq)`` for interfaces within ``radius``
+        — plus, in grid mode, any interface inside the widened override
+        search radius (callers re-check each candidate against its effective
+        reach).  The grid stores ``(reg_order, iface)`` items, so its raw
+        query output is returned as-is; sorting the list orders candidates
+        by registration sequence (``reg_order`` is unique, the interface is
+        never compared)."""
+        if self._positions_dirty:
+            self._refresh_positions()
+        if not self._interfaces:
+            return []
+        if self._use_grid:
+            search = radius if radius > self._max_override else self._max_override
+            return self._grid.query_disc(position.x, position.y, search)
+        dx = self._xs - position.x
+        dy = self._ys - position.y
+        dist_sq = dx * dx + dy * dy
+        hearable = dist_sq <= radius * radius
+        if self._override_ranges:
+            hearable |= dist_sq <= self._link_overrides * self._link_overrides
+        interfaces = self._interfaces
+        return [
+            (interfaces[i]._grid_item, dist_sq[i])
+            for i in np.flatnonzero(hearable)
+        ]
 
     def _receivers_for(
         self, frame: Frame, sender: RadioInterface
     ) -> List[RadioInterface]:
-        if self._positions_dirty:
-            self._refresh_positions()
-        if len(self._interfaces) == 0:
-            return []
-        dx = self._xs - frame.tx_position.x
-        dy = self._ys - frame.tx_position.y
-        dist_sq = dx * dx + dy * dy
-        reach = np.where(
-            np.isnan(self._link_overrides), frame.tx_range, self._link_overrides
-        )
-        hearable = dist_sq <= reach * reach
+        tx_range = frame.tx_range
+        candidates = self._candidates(frame.tx_position, tx_range)
+        self.stats.receiver_candidates += len(candidates)
+        candidates.sort()
+        dest_addr = frame.dest_addr
+        check_blocked = self._is_blocked if self._obstructions else None
         receivers: List[RadioInterface] = []
-        for i in np.flatnonzero(hearable):
-            iface = self._interfaces[i]
+        append = receivers.append
+        for (_order, iface), d_sq in candidates:
             if iface is sender:
                 continue
-            if frame.dest_addr is not None:
-                if iface.address != frame.dest_addr and not iface.promiscuous:
-                    continue
-            if self._is_blocked(frame.tx_position, iface):
+            reach = tx_range if iface.link_range is None else iface.link_range
+            if d_sq > reach * reach:
                 continue
-            receivers.append(iface)
+            if dest_addr is not None:
+                if iface.address != dest_addr and not iface.promiscuous:
+                    continue
+            if check_blocked is not None and check_blocked(
+                frame.tx_position, iface
+            ):
+                continue
+            append(iface)
         return receivers
+
+    def neighbors_within(
+        self, position: Position, radius: float
+    ) -> List[RadioInterface]:
+        """Registered interfaces within ``radius`` of ``position``.
+
+        Served from the same spatial index the transmit path uses; results
+        come back in registration order.  This is the query the traffic and
+        analysis layers reuse for proximity lookups (e.g.
+        ``World.nodes_near``).
+        """
+        r_sq = radius * radius
+        matches = [
+            item
+            for item, d_sq in self._candidates(position, radius)
+            if d_sq <= r_sq
+        ]
+        matches.sort()
+        return [iface for _order, iface in matches]
 
     def medium_busy(self, position: Position) -> bool:
         """Carrier sense: is a transmission audible at ``position`` right now?
@@ -283,11 +452,16 @@ class BroadcastChannel:
         CSMA is what guarantees one forwarder per CBF contention round in
         real radios: a contender whose timer expires during a peer's
         transmission defers, receives the duplicate, and cancels.
+
+        ``_active_tx`` is a heap ordered by end time, so expiring old
+        transmissions is a few O(log n) pops instead of rebuilding the list
+        on every call.
         """
         now = self._sim.now
-        if self._active_tx:
-            self._active_tx = [tx for tx in self._active_tx if tx[0] > now]
-        for _end, x, y, tx_range in self._active_tx:
+        active = self._active_tx
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        for _end, x, y, tx_range in active:
             dx = position.x - x
             dy = position.y - y
             if dx * dx + dy * dy <= tx_range * tx_range:

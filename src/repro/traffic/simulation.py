@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.radio.spatial import SpatialGrid
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.traffic.hazard import HazardEvent
@@ -23,6 +24,9 @@ from repro.traffic.vehicle import Vehicle
 
 #: Mobility events run before same-time network events.
 MOBILITY_PRIORITY = -10
+
+#: Default cell size of the vehicle proximity grid (metres).
+NEIGHBOR_CELL_SIZE = 250.0
 
 
 class TrafficSimulation:
@@ -38,6 +42,7 @@ class TrafficSimulation:
         rng=None,
         speed_factor_spread: float = 0.03,
         runout: float = 0.0,
+        neighbor_cell_size: float = NEIGHBOR_CELL_SIZE,
     ):
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -74,6 +79,12 @@ class TrafficSimulation:
         self.rear_end_contacts = 0
         self._process: Optional[PeriodicProcess] = None
         self._now = 0.0
+        #: Spatial index over active vehicles for proximity queries
+        #: (:meth:`vehicles_near`, :meth:`leader_of`).  Membership is
+        #: maintained incrementally on spawn/retire; positions are refreshed
+        #: lazily, only when a query arrives after a step moved vehicles.
+        self._grid = SpatialGrid(neighbor_cell_size)
+        self._grid_dirty = False
 
     # ------------------------------------------------------------------
     # population
@@ -83,6 +94,7 @@ class TrafficSimulation:
         lane_vehicles = self._lanes[vehicle.lane.index]
         lane_vehicles.append(vehicle)
         lane_vehicles.sort(key=lambda v: v.progress)
+        self._grid.insert(vehicle, vehicle.x, vehicle.lane.y)
         for callback in self.on_spawn:
             callback(vehicle)
 
@@ -126,6 +138,7 @@ class TrafficSimulation:
                     speed_factor=self._draw_speed_factor(),
                 )
                 self._lanes[lane.index].append(vehicle)
+                self._grid.insert(vehicle, vehicle.x, vehicle.lane.y)
                 created += 1
         for lane_vehicles in self._lanes.values():
             lane_vehicles.sort(key=lambda v: v.progress)
@@ -163,6 +176,74 @@ class TrafficSimulation:
         return list(self._lanes[lane.index])
 
     # ------------------------------------------------------------------
+    # proximity queries (spatial grid)
+    # ------------------------------------------------------------------
+    def _refresh_grid(self) -> None:
+        if not self._grid_dirty:
+            return
+        move = self._grid.move
+        for lane_vehicles in self._lanes.values():
+            for vehicle in lane_vehicles:
+                move(vehicle, vehicle.x, vehicle.lane.y)
+        self._grid_dirty = False
+
+    def vehicles_near(
+        self,
+        x: float,
+        y: float,
+        radius: float,
+        *,
+        direction: Optional[Direction] = None,
+    ) -> List[Vehicle]:
+        """Active vehicles within ``radius`` metres of ``(x, y)``.
+
+        Served from the vehicle spatial grid in O(k) for the ~k nearby
+        vehicles; results are in deterministic ``(lane, progress,
+        vehicle_id)`` order.
+        """
+        self._refresh_grid()
+        matches = [
+            vehicle
+            for vehicle, _d in self._grid.query_disc(x, y, radius)
+            if direction is None or vehicle.direction is direction
+        ]
+        matches.sort(key=lambda v: (v.lane.index, v.progress, v.vehicle_id))
+        return matches
+
+    def leader_of(
+        self, vehicle: Vehicle, *, within: Optional[float] = None
+    ) -> Optional[Vehicle]:
+        """The nearest vehicle ahead of ``vehicle`` in its lane, or None.
+
+        ``within`` bounds the search distance (default: the grid cell size,
+        which keeps the lookup inside a 3×3 cell neighborhood).  This is the
+        proximity-grid counterpart of the IDM stepper's sorted-lane leader
+        and serves ad-hoc queries — hazard placement, platoon analysis —
+        without an O(N) scan.
+        """
+        limit = self._grid.cell_size if within is None else within
+        self._refresh_grid()
+        best: Optional[Vehicle] = None
+        best_gap = math.inf
+        progress = vehicle.progress
+        for other, _d in self._grid.query_disc(
+            vehicle.x, vehicle.lane.y, limit
+        ):
+            if other is vehicle or other.lane.index != vehicle.lane.index:
+                continue
+            gap = other.progress - progress
+            if gap <= 0:
+                continue
+            if gap < best_gap or (
+                gap == best_gap
+                and best is not None
+                and other.vehicle_id < best.vehicle_id
+            ):
+                best = other
+                best_gap = gap
+        return best
+
+    # ------------------------------------------------------------------
     # hazards
     # ------------------------------------------------------------------
     def add_hazard(self, hazard: HazardEvent) -> None:
@@ -185,6 +266,7 @@ class TrafficSimulation:
         self._now = now
         for lane in self.road.lanes:
             self._step_lane(lane, now)
+        self._grid_dirty = True
         self._retire_exited()
         self._spawn(now)
         for callback in self.on_step:
@@ -254,6 +336,7 @@ class TrafficSimulation:
             while lane_vehicles and lane_vehicles[-1].progress > retire_at:
                 vehicle = lane_vehicles.pop()
                 vehicle.active = False
+                self._grid.remove(vehicle)
                 for callback in self.on_exit:
                     callback(vehicle)
 
@@ -273,6 +356,7 @@ class TrafficSimulation:
                     speed_factor=self._draw_speed_factor(),
                 )
                 lane_vehicles.insert(0, vehicle)
+                self._grid.insert(vehicle, vehicle.x, vehicle.lane.y)
                 self.spawner.spawned_count += 1
                 for callback in self.on_spawn:
                     callback(vehicle)

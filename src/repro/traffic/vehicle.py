@@ -18,9 +18,14 @@ from repro.traffic.road import Direction, Lane
 _vehicle_counter = itertools.count(1)
 
 
-@dataclass
+@dataclass(eq=False)
 class Vehicle:
-    """A vehicle on the road."""
+    """A vehicle on the road.
+
+    Vehicles compare and hash by identity (``eq=False``): each instance is
+    one physical vehicle, and identity hashing lets spatial indexes and
+    sets hold vehicles directly.
+    """
 
     lane: Lane
     x: float

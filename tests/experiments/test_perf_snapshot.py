@@ -1,0 +1,71 @@
+"""Tests for the PerfSnapshot performance reporting helper."""
+
+import dataclasses
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import PerfSnapshot
+from repro.experiments.runner import RunResult, run_single
+from repro.experiments.world import World
+from repro.experiments.metrics import BinnedRates
+
+
+def tiny_config():
+    config = ExperimentConfig.intra_area_default(duration=6.0, seed=2)
+    return config.with_(road=dataclasses.replace(config.road, length=1000.0))
+
+
+def test_from_world_captures_live_counters():
+    world = World(tiny_config(), attacked=False)
+    world.run()
+    snap = PerfSnapshot.from_world(world)
+    assert snap.events_fired == world.sim.events_fired > 0
+    assert snap.wall_time_s > 0.0
+    assert snap.frames_sent == world.channel.stats.frames_sent > 0
+    assert snap.events_per_sec > 0.0
+    assert snap.transmits_per_sec > 0.0
+    assert snap.mean_receivers_per_frame > 0.0
+    assert snap.mean_candidates_per_frame >= snap.mean_receivers_per_frame
+
+
+def test_from_run_round_trips_extras():
+    run = run_single(tiny_config(), attacked=False)
+    snap = PerfSnapshot.from_run(run)
+    assert snap.events_fired == int(run.extras["events_fired"]) > 0
+    assert snap.wall_time_s == run.extras["wall_time_s"] > 0.0
+    assert snap.frames_sent == int(run.extras["frames_sent"])
+    assert snap.mean_receivers_per_frame == (
+        run.extras["mean_receivers_per_frame"]
+    )
+
+
+def test_from_run_tolerates_missing_extras():
+    run = RunResult(
+        seed=1,
+        attacked=False,
+        binned=BinnedRates(bin_width=5.0, rates=[]),
+        overall_rate=0.0,
+        n_packets=0,
+        outcomes=[],
+        extras={},
+    )
+    snap = PerfSnapshot.from_run(run)
+    assert snap.events_fired == 0
+    assert snap.events_per_sec == 0.0
+    assert snap.transmits_per_sec == 0.0
+
+
+def test_format_is_one_line_with_rates():
+    snap = PerfSnapshot(
+        events_fired=1000,
+        wall_time_s=0.5,
+        frames_sent=100,
+        frames_delivered=900,
+        mean_receivers_per_frame=9.0,
+        mean_candidates_per_frame=12.5,
+    )
+    text = snap.format()
+    assert "\n" not in text
+    assert "2,000 ev/s" in text
+    assert "200 tx/s" in text
+    assert "rx/frame=9.0" in text
+    assert "candidates/frame=12.5" in text

@@ -1,0 +1,353 @@
+"""Behavior tests for channel delivery semantics, run against both the
+spatial-grid receiver lookup and the linear-scan fallback.
+
+These pin the delivery rules the spatial-index refactor must preserve:
+unicast vs promiscuous overhearing, the asymmetric ``link_range`` override,
+obstruction predicates, loss-rate fading, delivery ordering, and the
+swap-remove membership bookkeeping.
+"""
+
+import pytest
+
+from repro.geo.position import Position
+from repro.radio.channel import BroadcastChannel, RadioInterface
+from repro.radio.frames import FrameKind
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@pytest.fixture(params=[True, False], ids=["grid", "scan"])
+def use_grid(request):
+    return request.param
+
+
+def make_channel(use_grid, **kwargs):
+    sim = Simulator()
+    channel = BroadcastChannel(
+        sim, RandomStreams(1), use_spatial_index=use_grid, **kwargs
+    )
+    return sim, channel
+
+
+def make_iface(channel, x, y=0.0, tx_range=100.0, **kwargs):
+    iface = RadioInterface(lambda: Position(x, y), tx_range, **kwargs)
+    received = []
+    iface.attach(received.append)
+    channel.register(iface)
+    return iface, received
+
+
+# ----------------------------------------------------------------------
+# unicast vs promiscuous overhearing
+# ----------------------------------------------------------------------
+def test_unicast_reaches_addressee_only(use_grid):
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0)
+    target, target_rx = make_iface(channel, 50)
+    _other, other_rx = make_iface(channel, 60)
+    sender.send(FrameKind.GEO_UNICAST, "p", dest_addr=target.address)
+    sim.run_until(1.0)
+    assert [f.payload for f in target_rx] == ["p"]
+    assert other_rx == []
+
+
+def test_promiscuous_overhears_unicast_but_range_still_applies(use_grid):
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0)
+    target, target_rx = make_iface(channel, 50)
+    _near_sniffer, near_sniffed = make_iface(channel, 20, promiscuous=True)
+    _far_sniffer, far_sniffed = make_iface(channel, 150, promiscuous=True)
+    sender.send(FrameKind.GEO_UNICAST, "secret", dest_addr=target.address)
+    sim.run_until(1.0)
+    assert len(target_rx) == 1
+    assert [f.payload for f in near_sniffed] == ["secret"]
+    assert far_sniffed == []  # promiscuity is not extra range
+
+
+def test_unicast_to_out_of_range_target_counted_lost(use_grid):
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0, tx_range=100.0)
+    _target, target_rx = make_iface(channel, 200)
+    sender.send(FrameKind.GEO_UNICAST, "p", dest_addr=_target.address)
+    sim.run_until(1.0)
+    assert target_rx == []
+    assert channel.stats.unicast_lost == 1
+
+
+# ----------------------------------------------------------------------
+# link_range override asymmetry
+# ----------------------------------------------------------------------
+def test_mast_override_extends_reception_beyond_sender_range(use_grid):
+    """A mast hears a weak sender far beyond the sender's tx range —
+    the grid must find it outside the frame's own search radius."""
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0, tx_range=100.0)
+    _mast, mast_rx = make_iface(channel, 800, link_range=1000.0)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert len(mast_rx) == 1
+
+
+def test_weak_override_limits_reception_below_sender_range(use_grid):
+    """The worst-NLoS attacker's short link applies toward it too."""
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0, tx_range=486.0)
+    _weak, weak_rx = make_iface(channel, 400, link_range=327.0)
+    _vehicle, vehicle_rx = make_iface(channel, 400, tx_range=486.0)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert weak_rx == []  # 400 > 327: override blocks
+    assert len(vehicle_rx) == 1  # plain vehicle at same spot hears it
+
+
+def test_override_applies_per_receiver_not_globally(use_grid):
+    """One mast must not widen anyone else's ears."""
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0, tx_range=100.0)
+    _mast, mast_rx = make_iface(channel, 900, link_range=1000.0)
+    _vehicle, vehicle_rx = make_iface(channel, 150, tx_range=100.0)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert len(mast_rx) == 1
+    assert vehicle_rx == []  # 150 > 100 and no override of its own
+
+
+def test_unregistering_mast_restores_narrow_search(use_grid):
+    """Removing the largest override must shrink the override bookkeeping
+    (regression guard for the incremental max tracking)."""
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0, tx_range=100.0)
+    mast, mast_rx = make_iface(channel, 800, link_range=1000.0)
+    small_mast, small_rx = make_iface(channel, 300, link_range=400.0)
+    channel.unregister(mast)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert mast_rx == []
+    assert len(small_rx) == 1  # the smaller override still works
+    assert channel._max_override == 400.0
+
+
+# ----------------------------------------------------------------------
+# obstruction predicates
+# ----------------------------------------------------------------------
+def test_obstruction_blocks_link_both_modes(use_grid):
+    sim, channel = make_channel(use_grid)
+    channel.add_obstruction(lambda a, b: (a.x - 50) * (b.x - 50) < 0)
+    sender, _ = make_iface(channel, 0)
+    _blocked, blocked_rx = make_iface(channel, 80)
+    _same_side, same_rx = make_iface(channel, 40)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert blocked_rx == []
+    assert len(same_rx) == 1
+
+
+def test_any_of_multiple_obstructions_blocks(use_grid):
+    sim, channel = make_channel(use_grid)
+    channel.add_obstruction(lambda a, b: False)
+    channel.add_obstruction(lambda a, b: abs(a.x - b.x) > 30)
+    sender, _ = make_iface(channel, 0)
+    _near, near_rx = make_iface(channel, 20)
+    _far, far_rx = make_iface(channel, 40)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert len(near_rx) == 1
+    assert far_rx == []
+
+
+# ----------------------------------------------------------------------
+# loss-rate fading
+# ----------------------------------------------------------------------
+def test_loss_rate_fades_some_deliveries(use_grid):
+    sim, channel = make_channel(use_grid, loss_rate=0.5)
+    sender, _ = make_iface(channel, 0)
+    receivers = [make_iface(channel, 10 + i)[1] for i in range(40)]
+    for _ in range(5):
+        sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    delivered = sum(len(rx) for rx in receivers)
+    assert channel.stats.frames_faded > 0
+    assert delivered + channel.stats.frames_faded == 200
+    assert 0 < delivered < 200  # some lost, some through
+
+
+def test_loss_draws_are_deterministic_across_modes():
+    """Same seed ⇒ the exact same frames fade with grid and scan."""
+    outcomes = []
+    for use_grid in (True, False):
+        sim, channel = make_channel(use_grid, loss_rate=0.3)
+        sender, _ = make_iface(channel, 0)
+        receivers = [make_iface(channel, 5 * (i + 1))[1] for i in range(15)]
+        for _ in range(10):
+            sender.send(FrameKind.BEACON, "x")
+        sim.run_until(1.0)
+        outcomes.append(
+            (channel.stats.frames_faded, [len(rx) for rx in receivers])
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------
+# ordering and membership bookkeeping
+# ----------------------------------------------------------------------
+def test_delivery_order_is_registration_order(use_grid):
+    """With zero jitter all deliveries share a timestamp, so the engine
+    fires them in scheduling order — which must be registration order."""
+    sim, channel = make_channel(use_grid, latency_jitter=0.0)
+    sender, _ = make_iface(channel, 0)
+    order = []
+    ifaces = []
+    # Register across several grid cells, deliberately not sorted by x.
+    for label, x in (("d", 90.0), ("a", 10.0), ("c", 70.0), ("b", 40.0)):
+        iface = RadioInterface(lambda x=x: Position(x, 0.0), 100.0)
+        iface.attach(lambda f, label=label: order.append(label))
+        channel.register(iface)
+        ifaces.append(iface)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert order == ["d", "a", "c", "b"]
+
+
+def test_delivery_order_survives_swap_remove(use_grid):
+    """unregister() swap-removes from the interface list; delivery order
+    must still follow original registration order."""
+    sim, channel = make_channel(use_grid, latency_jitter=0.0)
+    sender, _ = make_iface(channel, 0)
+    order = []
+
+    def reg(label, x):
+        iface = RadioInterface(lambda: Position(x, 0.0), 100.0)
+        iface.attach(lambda f, label=label: order.append(label))
+        channel.register(iface)
+        return iface
+
+    a, b, c, d = reg("a", 10), reg("b", 20), reg("c", 30), reg("d", 40)
+    channel.unregister(b)  # swap-remove moves d into b's slot
+    e = reg("e", 50)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert order == ["a", "c", "d", "e"]
+
+
+def test_interfaces_property_in_registration_order(use_grid):
+    _sim, channel = make_channel(use_grid)
+    a, _ = make_iface(channel, 0)
+    b, _ = make_iface(channel, 10)
+    c, _ = make_iface(channel, 20)
+    channel.unregister(a)
+    assert channel.interfaces == (b, c)
+    d, _ = make_iface(channel, 30)
+    assert channel.interfaces == (b, c, d)
+
+
+def test_reregistration_after_unregister(use_grid):
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0)
+    iface, received = make_iface(channel, 10)
+    channel.unregister(iface)
+    channel.register(iface)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert len(received) == 1
+
+
+def test_unregister_twice_is_noop(use_grid):
+    _sim, channel = make_channel(use_grid)
+    iface, _ = make_iface(channel, 0)
+    channel.unregister(iface)
+    channel.unregister(iface)  # must not raise
+    assert len(channel.interfaces) == 0
+
+
+# ----------------------------------------------------------------------
+# grid-specific mechanics
+# ----------------------------------------------------------------------
+def test_moving_interface_is_retracked_after_invalidation(use_grid):
+    sim, channel = make_channel(use_grid)
+    pos = {"x": 0.0}
+    mover = RadioInterface(lambda: Position(pos["x"], 0.0), 100.0)
+    mover_rx = []
+    mover.attach(mover_rx.append)
+    channel.register(mover)
+    sender, _ = make_iface(channel, 3000.0, tx_range=100.0)
+    sender.send(FrameKind.BEACON, "one")
+    sim.run_until(0.01)
+    assert mover_rx == []
+    # Cross many grid cells in one hop, as a teleporting test double would.
+    pos["x"] = 2950.0
+    channel.invalidate_positions()
+    sender.send(FrameKind.BEACON, "two")
+    sim.run_until(0.02)
+    assert [f.payload for f in mover_rx] == ["two"]
+
+
+def test_per_frame_tx_range_beyond_cell_size(use_grid):
+    """A frame's tx_range may exceed the grid cell size; the multi-ring
+    query keeps the result exact."""
+    sim, channel = make_channel(use_grid, cell_size=100.0)
+    sender, _ = make_iface(channel, 0, tx_range=100.0)
+    _far, far_rx = make_iface(channel, 1500.0)
+    _beyond, beyond_rx = make_iface(channel, 2500.0)
+    sender.send(FrameKind.BEACON, "boost", tx_range=2000.0)
+    sim.run_until(1.0)
+    assert len(far_rx) == 1
+    assert beyond_rx == []
+
+
+def test_neighbors_within_matches_geometry(use_grid):
+    _sim, channel = make_channel(use_grid)
+    ifaces = [make_iface(channel, 100.0 * i)[0] for i in range(10)]
+    got = channel.neighbors_within(Position(450.0, 0.0), 160.0)
+    assert got == [ifaces[3], ifaces[4], ifaces[5], ifaces[6]]
+
+
+def test_neighbors_within_ignores_link_overrides(use_grid):
+    """neighbors_within is a pure geometric query: a mast's link_range
+    must not inflate its distance-based membership."""
+    _sim, channel = make_channel(use_grid)
+    make_iface(channel, 0)
+    mast, _ = make_iface(channel, 500.0, link_range=5000.0)
+    got = channel.neighbors_within(Position(0.0, 0.0), 100.0)
+    assert mast not in got
+    assert len(got) == 1
+
+
+def test_stats_candidate_counter_advances(use_grid):
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0)
+    make_iface(channel, 10)
+    make_iface(channel, 20)
+    sender.send(FrameKind.BEACON, "x")
+    sim.run_until(1.0)
+    assert channel.stats.frames_sent == 1
+    assert channel.stats.receiver_candidates >= 2
+    assert channel.stats.mean_receivers_per_frame == 2.0
+
+
+# ----------------------------------------------------------------------
+# carrier sense (heap-based active transmission tracking)
+# ----------------------------------------------------------------------
+def test_medium_busy_during_and_idle_after_transmission(use_grid):
+    sim, channel = make_channel(use_grid)
+    sender, _ = make_iface(channel, 0)
+    sender.send(FrameKind.BEACON, "x")
+    assert channel.medium_busy(Position(50.0, 0.0))
+    assert not channel.medium_busy(Position(5000.0, 0.0))  # out of range
+    sim.run_until(1.0)  # well past the 0.5 ms airtime
+    assert not channel.medium_busy(Position(50.0, 0.0))
+
+
+def test_medium_busy_expires_staggered_transmissions_in_order(use_grid):
+    sim, channel = make_channel(use_grid)
+    a, _ = make_iface(channel, 0)
+    b, _ = make_iface(channel, 10)
+    # Two staggered transmissions; the heap must expire them independently.
+    a.send(FrameKind.BEACON, "x")
+    sim.run_until(0.0003)
+    b.send(FrameKind.BEACON, "y")
+    assert channel.medium_busy(Position(5.0, 0.0))
+    sim.run_until(0.0006)  # a's airtime over, b's still active
+    assert channel.medium_busy(Position(5.0, 0.0))
+    sim.run_until(0.01)
+    assert not channel.medium_busy(Position(5.0, 0.0))
+    assert channel._active_tx == []  # heap fully drained

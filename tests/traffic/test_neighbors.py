@@ -1,0 +1,147 @@
+"""Tests for the traffic layer's grid-backed proximity queries
+(:meth:`TrafficSimulation.vehicles_near`, :meth:`leader_of`)."""
+
+import math
+import random
+
+from repro.traffic.idm import IdmParameters
+from repro.traffic.road import Direction, RoadSegment
+from repro.traffic.simulation import TrafficSimulation
+from repro.traffic.spawner import EntranceSpawner
+from repro.traffic.vehicle import Vehicle
+
+
+def make_sim(road=None, **kwargs):
+    return TrafficSimulation(
+        road or RoadSegment(length=2000.0, lanes_per_direction=2),
+        IdmParameters(),
+        **kwargs,
+    )
+
+
+def step_for(traffic, seconds):
+    steps = int(seconds / traffic.dt)
+    t = traffic._now
+    for _ in range(steps):
+        t += traffic.dt
+        traffic.step(t)
+
+
+def brute_force_near(traffic, x, y, radius, direction=None):
+    out = []
+    for vehicle in traffic.vehicles():
+        if direction is not None and vehicle.direction is not direction:
+            continue
+        dx = vehicle.x - x
+        dy = vehicle.lane.y - y
+        if dx * dx + dy * dy <= radius * radius:
+            out.append(vehicle)
+    out.sort(key=lambda v: (v.lane.index, v.progress, v.vehicle_id))
+    return out
+
+
+def test_vehicles_near_matches_brute_force_after_populate():
+    traffic = make_sim(rng=random.Random(3))
+    traffic.populate(spacing=30.0)
+    lane_y = traffic.road.lanes[0].y
+    for radius in (10.0, 75.0, 260.0, 900.0):
+        got = traffic.vehicles_near(1000.0, lane_y, radius)
+        assert got == brute_force_near(traffic, 1000.0, lane_y, radius)
+    assert traffic.vehicles_near(1000.0, lane_y, 75.0, direction=Direction.EAST) == (
+        brute_force_near(traffic, 1000.0, lane_y, 75.0, Direction.EAST)
+    )
+
+
+def test_vehicles_near_tracks_movement_across_steps():
+    traffic = make_sim(rng=random.Random(5))
+    traffic.populate(spacing=60.0)
+    lane_y = traffic.road.lanes[0].y
+    for _ in range(5):
+        step_for(traffic, 2.0)
+        got = traffic.vehicles_near(500.0, lane_y, 150.0)
+        assert got == brute_force_near(traffic, 500.0, lane_y, 150.0)
+
+
+def test_retired_vehicles_leave_the_index():
+    road = RoadSegment(length=300.0, lanes_per_direction=1)
+    traffic = make_sim(road=road)
+    lane = road.lanes[0]
+    vehicle = Vehicle(lane=lane, x=290.0, speed=30.0)
+    traffic.add_vehicle(vehicle)
+    step_for(traffic, 5.0)  # drives off the end (no runout configured)
+    assert list(traffic.vehicles()) == []
+    assert traffic.vehicles_near(300.0, lane.y, 1000.0) == []
+    assert len(traffic._grid) == 0
+
+
+def test_spawned_vehicles_enter_the_index():
+    road = RoadSegment(length=2000.0, lanes_per_direction=1)
+    spawner = EntranceSpawner(spawn_gap=30.0, entry_speed=30.0)
+    traffic = make_sim(road=road, spawner=spawner, rng=random.Random(11))
+    step_for(traffic, 10.0)
+    count = sum(1 for _ in traffic.vehicles())
+    assert count > 0
+    assert len(traffic._grid) == count
+    lane_y = road.lanes[0].y
+    assert traffic.vehicles_near(0.0, lane_y, 400.0) == brute_force_near(
+        traffic, 0.0, lane_y, 400.0
+    )
+
+
+def test_leader_of_matches_sorted_lane_order():
+    traffic = make_sim(rng=random.Random(9))
+    traffic.populate(spacing=40.0)
+    for lane in traffic.road.lanes:
+        ordered = traffic.lane_vehicles(lane)  # sorted by progress
+        for follower, leader in zip(ordered, ordered[1:]):
+            if leader.progress - follower.progress <= 250.0:
+                assert traffic.leader_of(follower) is leader
+        assert traffic.leader_of(ordered[-1]) is None
+
+
+def test_leader_of_respects_within_limit():
+    road = RoadSegment(length=2000.0, lanes_per_direction=1)
+    traffic = make_sim(road=road)
+    lane = road.lanes[0]
+    rear = Vehicle(lane=lane, x=0.0, speed=30.0)
+    front = Vehicle(lane=lane, x=180.0, speed=30.0)
+    traffic.add_vehicle(rear)
+    traffic.add_vehicle(front)
+    assert traffic.leader_of(rear) is front  # default limit = cell size 250
+    assert traffic.leader_of(rear, within=100.0) is None
+    assert traffic.leader_of(rear, within=180.0) is front
+
+
+def test_leader_of_ignores_other_lanes_and_vehicles_behind():
+    road = RoadSegment(length=2000.0, lanes_per_direction=2)
+    traffic = make_sim(road=road)
+    east_lanes = [l for l in road.lanes if l.direction is Direction.EAST]
+    subject = Vehicle(lane=east_lanes[0], x=100.0, speed=30.0)
+    behind = Vehicle(lane=east_lanes[0], x=50.0, speed=30.0)
+    other_lane = Vehicle(lane=east_lanes[1], x=120.0, speed=30.0)
+    traffic.add_vehicle(subject)
+    traffic.add_vehicle(behind)
+    traffic.add_vehicle(other_lane)
+    assert traffic.leader_of(subject) is None
+    assert traffic.leader_of(behind) is subject
+
+
+def test_leader_of_westbound_lane_uses_progress_not_x():
+    road = RoadSegment(length=1000.0, lanes_per_direction=1, directions=2)
+    traffic = make_sim(road=road)
+    west = next(l for l in road.lanes if l.direction is Direction.WEST)
+    # Westbound progress runs against x: the leader has the *smaller* x.
+    rear = Vehicle(lane=west, x=600.0, speed=30.0)
+    front = Vehicle(lane=west, x=500.0, speed=30.0)
+    traffic.add_vehicle(rear)
+    traffic.add_vehicle(front)
+    assert traffic.leader_of(rear) is front
+    assert traffic.leader_of(front) is None
+
+
+def test_query_before_any_step_works():
+    traffic = make_sim()
+    lane = traffic.road.lanes[0]
+    vehicle = Vehicle(lane=lane, x=100.0, speed=30.0)
+    traffic.add_vehicle(vehicle)
+    assert traffic.vehicles_near(100.0, lane.y, 5.0) == [vehicle]
