@@ -1,0 +1,633 @@
+"""The fault-tolerant campaign orchestrator.
+
+A *campaign* regenerates a list of paper targets (``fig7a`` … ``overhead``)
+on top of the persistent :mod:`~repro.experiments.store`:
+
+1. **Plan** — every target is expanded into its individual simulation runs
+   (:class:`RunSpec`\\ s), by replaying the figure's own scenario
+   enumeration with a recording runner.  A/B figure targets expand to one
+   spec per ``(config, attacked, seed)``; whole-run targets (tables,
+   Fig 12/13, overhead) expand to a single spec.
+2. **Execute** — specs already in the store are skipped (``resume``); the
+   rest fan out over a ``multiprocessing`` pool via ``imap_unordered``.
+   Each worker enforces a per-run timeout with ``SIGALRM`` and converts any
+   exception into a structured error result, a parent-side watchdog
+   terminates and rebuilds the pool when a worker dies or hangs without
+   reporting, and every failing run is retried a bounded number of times
+   before being recorded as a ``failure`` in the store — one dead worker
+   never kills the campaign.  Progress and an ETA go to stderr after every
+   completed run.
+3. **Assemble** — each figure function runs again with a *store-backed*
+   runner that feeds it the precomputed
+   :class:`~repro.experiments.runner.RunResult`\\ s, so the rendered output
+   is identical to a fresh in-memory run at the same seeds.
+
+The checked-in ``run_remaining*.sh`` restart scripts this replaces
+re-executed every already-finished run after a crash; with the store, a
+re-issued campaign costs only the missing runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    tables,
+)
+from repro.experiments.metrics import BinnedRates
+from repro.experiments.runner import AbResult, RunResult, expand_jobs, run_single
+from repro.experiments.store import ResultStore, RunKey, config_hash
+
+
+class CampaignError(RuntimeError):
+    """Raised on invalid campaign requests (unknown target, bad params)."""
+
+
+class MissingRunError(CampaignError):
+    """A figure asked the store for a run that is absent or failed."""
+
+    def __init__(self, key: RunKey):
+        self.key = key
+        super().__init__(
+            f"no stored result for {key.target} config={key.config_hash} "
+            f"seed={key.seed} {'atk' if key.attacked else 'af'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# target registry
+# ----------------------------------------------------------------------
+#: A/B figure targets: name -> builder accepting (runs, duration,
+#: processes, seed, runner) and returning an object with ``.format()``.
+AB_TARGETS: Dict[str, Callable[..., Any]] = {
+    "fig7a": fig7.fig7a,
+    "fig7b": fig7.fig7b,
+    "fig7c": fig7.fig7c,
+    "fig7d": fig7.fig7d,
+    "fig7e": fig7.fig7e,
+    "fig8": fig8.figure8,
+    "fig9a": fig9.fig9a,
+    "fig9b": fig9.fig9b,
+    "fig9c": fig9.fig9c,
+    "fig9d": fig9.fig9d,
+    "fig9e": fig9.fig9e,
+    "fig9-tuning": fig9.attack_range_tuning,
+    "fig9-source-location": fig9.source_location_study,
+    "fig10": fig10.figure10,
+    "fig14a": fig14.fig14a,
+    "fig14b": fig14.fig14b,
+}
+
+
+def _overhead_text(params: Dict[str, Any]) -> str:
+    from repro.experiments.overhead import format_analysis
+    from repro.experiments.world import World
+
+    config = ExperimentConfig.inter_area_default(
+        duration=params["duration"], seed=params["seed"]
+    )
+    world = World(config, attacked=False, seed=params["seed"])
+    world.run()
+    return format_analysis(world.channel.stats, duration=params["duration"])
+
+
+#: Whole-run targets: name -> (param builder, renderer).  The param dict is
+#: both the worker's input and the content hashed into the store key.
+TEXT_TARGETS: Dict[
+    str,
+    Tuple[Callable[..., Dict[str, Any]], Callable[[Dict[str, Any]], str]],
+] = {
+    "table1": (lambda runs, duration, seed: {}, lambda p: tables.table1()),
+    "table2": (lambda runs, duration, seed: {}, lambda p: tables.table2()),
+    "fig12a": (
+        lambda runs, duration, seed: {
+            "duration": duration,
+            "seed": seed,
+            "spawn_gap": fig12.DEFAULT_SPAWN_GAP,
+        },
+        lambda p: fig12.fig12a(
+            duration=p["duration"], seed=p["seed"], spawn_gap=p["spawn_gap"]
+        ).format(),
+    ),
+    "fig12b": (
+        lambda runs, duration, seed: {
+            "duration": duration,
+            "seed": seed,
+            "spawn_gap": fig12.DEFAULT_SPAWN_GAP,
+        },
+        lambda p: fig12.fig12b(
+            duration=p["duration"], seed=p["seed"], spawn_gap=p["spawn_gap"]
+        ).format(),
+    ),
+    "fig13": (
+        lambda runs, duration, seed: {
+            "duration": fig13.DEFAULT_DURATION,
+            "seed": seed,
+        },
+        lambda p: fig13.fig13(seed=p["seed"], duration=p["duration"]).format(),
+    ),
+    "overhead": (
+        lambda runs, duration, seed: {"duration": duration, "seed": seed},
+        _overhead_text,
+    ),
+}
+
+#: Every atomic campaign target, in canonical (run_remaining-superset) order.
+CAMPAIGN_TARGETS: List[str] = [
+    "table1",
+    "table2",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig7e",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig9e",
+    "fig9-tuning",
+    "fig9-source-location",
+    "fig10",
+    "fig12a",
+    "fig12b",
+    "fig13",
+    "fig14a",
+    "fig14b",
+    "overhead",
+]
+
+#: CLI conveniences: aggregate names expanded to atomic targets.
+TARGET_ALIASES: Dict[str, List[str]] = {
+    "all": list(CAMPAIGN_TARGETS),
+    "fig7": ["fig7a", "fig7b", "fig7c", "fig7d", "fig7e"],
+    "fig9": ["fig9a", "fig9b", "fig9c", "fig9d", "fig9e"],
+}
+
+
+def resolve_targets(names: Sequence[str]) -> List[str]:
+    """Expand aliases and validate; preserves order, drops duplicates."""
+    resolved: List[str] = []
+    for name in names:
+        expansion = TARGET_ALIASES.get(name, [name])
+        for target in expansion:
+            if target not in AB_TARGETS and target not in TEXT_TARGETS:
+                known = ", ".join(CAMPAIGN_TARGETS + sorted(TARGET_ALIASES))
+                raise CampaignError(
+                    f"unknown campaign target {name!r} (known: {known})"
+                )
+            if target not in resolved:
+                resolved.append(target)
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# run specs / planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One schedulable unit of campaign work."""
+
+    target: str
+    kind: str  # "ab" | "text"
+    seed: int
+    attacked: bool
+    config: Optional[ExperimentConfig] = None  # ab specs
+    params: Optional[Tuple[Tuple[str, Any], ...]] = None  # text specs
+
+    @property
+    def key(self) -> RunKey:
+        if self.kind == "ab":
+            digest = config_hash(self.config)
+        else:
+            digest = config_hash(dict(self.params or ()))
+        return RunKey(
+            target=self.target,
+            config_hash=digest,
+            seed=self.seed,
+            attacked=self.attacked,
+        )
+
+    def describe(self) -> str:
+        label = ""
+        if self.config is not None and self.config.label:
+            label = f" {self.config.label}"
+        mode = " atk" if self.attacked else " af"
+        return f"{self.target}{label} s{self.seed}{mode}"
+
+
+def _placeholder_ab(config: ExperimentConfig, runs: int) -> AbResult:
+    """A structurally-valid empty AbResult for the planning pass."""
+    empty = lambda seed, attacked: RunResult(  # noqa: E731
+        seed=seed,
+        attacked=attacked,
+        binned=BinnedRates(bin_width=config.bin_width, rates=[]),
+        overall_rate=0.0,
+        n_packets=0,
+        outcomes=[],
+        extras={},
+    )
+    jobs = expand_jobs(config, runs)
+    return AbResult(
+        config=config,
+        af_runs=[empty(s, False) for _c, atk, s in jobs if not atk],
+        atk_runs=[empty(s, True) for _c, atk, s in jobs if atk],
+    )
+
+
+def plan_target(
+    target: str, *, runs: int, duration: float, seed: int
+) -> List[RunSpec]:
+    """The RunSpecs a target needs, in deterministic order."""
+    if target in TEXT_TARGETS:
+        build_params, _render = TEXT_TARGETS[target]
+        params = build_params(runs, duration, seed)
+        return [
+            RunSpec(
+                target=target,
+                kind="text",
+                seed=seed,
+                attacked=False,
+                params=tuple(sorted(params.items())),
+            )
+        ]
+    if target not in AB_TARGETS:
+        raise CampaignError(f"unknown campaign target {target!r}")
+    specs: List[RunSpec] = []
+
+    def recording_runner(
+        config: ExperimentConfig, *, runs: int, processes: int = 1
+    ) -> AbResult:
+        for cfg, attacked, run_seed in expand_jobs(config, runs):
+            specs.append(
+                RunSpec(
+                    target=target,
+                    kind="ab",
+                    seed=run_seed,
+                    attacked=attacked,
+                    config=cfg,
+                )
+            )
+        return _placeholder_ab(config, runs)
+
+    AB_TARGETS[target](
+        runs=runs, duration=duration, processes=1, seed=seed,
+        runner=recording_runner,
+    )
+    return specs
+
+
+def plan_campaign(
+    targets: Sequence[str], *, runs: int, duration: float, seed: int
+) -> List[RunSpec]:
+    """Expand targets into deduplicated RunSpecs (first occurrence wins)."""
+    seen = set()
+    specs: List[RunSpec] = []
+    for target in resolve_targets(targets):
+        for spec in plan_target(target, runs=runs, duration=duration, seed=seed):
+            if spec.key not in seen:
+                seen.add(spec.key)
+                specs.append(spec)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class RunTimeout(RuntimeError):
+    """A run exceeded the per-run timeout (raised inside the worker)."""
+
+
+def execute_spec(spec: RunSpec) -> Any:
+    """Execute one spec in the current process.
+
+    Module-level so pool workers resolve it by name — tests may substitute
+    it (via fork inheritance) to inject crashes, hangs and counters.
+    """
+    if spec.kind == "text":
+        _params, render = TEXT_TARGETS[spec.target]
+        return render(dict(spec.params or ()))
+    return run_single(spec.config, attacked=spec.attacked, seed=spec.seed)
+
+
+def _pool_worker(payload: Tuple[int, RunSpec, Optional[float]]) -> Tuple[int, str, Any]:
+    """Run one spec with crash isolation and an in-process alarm timeout.
+
+    Always returns ``(index, "ok"|"error", payload)`` — any exception (and
+    the SIGALRM-driven timeout) is converted into an ``"error"`` result, so
+    a Python-level failure never poisons the pool.  A hard crash (worker
+    process death) returns nothing; the parent's watchdog handles that.
+    """
+    index, spec, timeout = payload
+    previous_handler = None
+    try:
+        if timeout is not None and timeout > 0 and hasattr(signal, "SIGALRM"):
+            def _on_alarm(signum, frame):
+                raise RunTimeout(f"run exceeded {timeout:.0f}s")
+
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        return (index, "ok", execute_spec(spec))
+    except BaseException as exc:  # crash isolation: report, don't raise
+        return (index, "error", f"{type(exc).__name__}: {exc}")
+    finally:
+        if previous_handler is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+# ----------------------------------------------------------------------
+# parent side: fan-out with retry and crash isolation
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """What a campaign did: counts, failures and wall time."""
+
+    planned: int = 0
+    skipped: int = 0
+    executed: int = 0
+    retried: int = 0
+    failed: List[Tuple[RunSpec, str]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    outputs: Dict[str, str] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"campaign: {self.planned} runs planned, {self.skipped} skipped "
+            f"(already stored), {self.executed} executed, {self.retried} "
+            f"retried, {len(self.failed)} failed in {self.wall_time_s:.1f}s"
+        )
+
+
+def _log(stream, message: str) -> None:
+    if stream is not None:
+        print(f"[campaign] {message}", file=stream, flush=True)
+
+
+def _store_result(store: ResultStore, spec: RunSpec, result: Any) -> None:
+    if spec.kind == "text":
+        store.put_text(spec.key, result, params=dict(spec.params or ()))
+    else:
+        store.put_run(spec.key, result, config=spec.config)
+
+
+def _execute_specs(
+    specs: List[RunSpec],
+    *,
+    store: ResultStore,
+    processes: int,
+    timeout: Optional[float],
+    retries: int,
+    report: CampaignReport,
+    log_stream,
+) -> None:
+    """Fan specs out over a pool; retry bounded; record terminal failures.
+
+    Work proceeds in rounds.  Within a round every still-pending spec is
+    submitted through ``imap_unordered``; results are collected with a
+    watchdog timeout, so a worker that dies without reporting (segfault,
+    ``os._exit``) or hangs past the per-run budget only costs the round —
+    the pool is terminated and the unreported specs are retried in the
+    next round.  A spec that fails ``retries + 1`` times is recorded as a
+    ``failure`` in the store and the campaign moves on.
+    """
+    max_attempts = retries + 1
+    pending: Dict[int, RunSpec] = dict(enumerate(specs))
+    attempts: Dict[int, int] = {idx: 0 for idx in pending}
+    total_planned = report.planned
+    started = time.time()
+
+    def _progress(prefix: str) -> str:
+        done = report.executed + report.skipped + len(report.failed)
+        elapsed = time.time() - started
+        remaining = max(total_planned - done, 0)
+        per_run = elapsed / max(report.executed, 1)
+        eta = per_run * remaining
+        return (
+            f"{prefix} [{done}/{total_planned} done, "
+            f"{len(report.failed)} failed, elapsed {elapsed:.0f}s, "
+            f"eta {eta:.0f}s]"
+        )
+
+    def _fail(idx: int, spec: RunSpec, error: str) -> None:
+        store.put_failure(spec.key, error)
+        report.failed.append((spec, error))
+        _log(log_stream, _progress(f"FAILED {spec.describe()}: {error}"))
+
+    while pending:
+        batch = sorted(pending.items())
+        payloads = [(idx, spec, timeout) for idx, spec in batch]
+        # imap_unordered: results arrive as runs finish; maxtasksperchild=1
+        # gives every run a fresh process (no leaked state across sims).
+        pool = multiprocessing.Pool(
+            processes=max(1, min(processes, len(batch))), maxtasksperchild=1
+        )
+        round_received = 0
+        try:
+            iterator = pool.imap_unordered(_pool_worker, payloads)
+            for _ in range(len(batch)):
+                run_started = time.time()
+                try:
+                    if timeout is not None and timeout > 0:
+                        # Grace over the in-worker alarm so the structured
+                        # timeout error normally wins; the watchdog only
+                        # fires for workers that died or wedged outright.
+                        index, status, payload = iterator.next(timeout + 5.0)
+                    else:
+                        index, status, payload = iterator.next()
+                except multiprocessing.TimeoutError:
+                    _log(
+                        log_stream,
+                        "watchdog: no result within budget — terminating "
+                        "pool and retrying outstanding runs",
+                    )
+                    break
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                round_received += 1
+                spec = pending[index]
+                if status == "ok":
+                    del pending[index]
+                    _store_result(store, spec, payload)
+                    report.executed += 1
+                    _log(
+                        log_stream,
+                        _progress(
+                            f"ok {spec.describe()} "
+                            f"({time.time() - run_started:.1f}s)"
+                        ),
+                    )
+                else:
+                    attempts[index] += 1
+                    if attempts[index] >= max_attempts:
+                        del pending[index]
+                        _fail(index, spec, payload)
+                    else:
+                        report.retried += 1
+                        _log(
+                            log_stream,
+                            f"retry {spec.describe()} "
+                            f"(attempt {attempts[index]}/{max_attempts}): "
+                            f"{payload}",
+                        )
+        finally:
+            pool.terminate()
+            pool.join()
+        if round_received == len(batch):
+            continue  # clean round; loop exits when pending is empty
+        # Specs submitted but never reported: a worker died or hung.
+        for index, spec in batch:
+            if index not in pending:
+                continue
+            attempts[index] += 1
+            if attempts[index] >= max_attempts:
+                del pending[index]
+                _fail(index, spec, "worker died or timed out without reporting")
+            else:
+                report.retried += 1
+        if pending:
+            _log(
+                log_stream,
+                f"round closed with {len(pending)} runs still pending",
+            )
+
+
+# ----------------------------------------------------------------------
+# assembly: figures from precomputed store results
+# ----------------------------------------------------------------------
+def store_runner(store: ResultStore, target: str):
+    """An AbRunner that assembles AbResults from stored RunResults."""
+
+    def runner(
+        config: ExperimentConfig, *, runs: int, processes: int = 1
+    ) -> AbResult:
+        af_runs: List[RunResult] = []
+        atk_runs: List[RunResult] = []
+        for cfg, attacked, seed in expand_jobs(config, runs):
+            key = RunKey.for_config(target, cfg, seed=seed, attacked=attacked)
+            result = store.get_run(key)
+            if result is None:
+                raise MissingRunError(key)
+            (atk_runs if attacked else af_runs).append(result)
+        return AbResult(config=config, af_runs=af_runs, atk_runs=atk_runs)
+
+    return runner
+
+
+def assemble_target(
+    target: str,
+    store: ResultStore,
+    *,
+    runs: int,
+    duration: float,
+    seed: int,
+) -> str:
+    """Render a target's artefact purely from stored results.
+
+    Raises :class:`MissingRunError` when a required run is absent (e.g.
+    recorded as failed) — re-issue the campaign with ``--resume`` to fill
+    the gaps.
+    """
+    if target in TEXT_TARGETS:
+        spec = plan_target(target, runs=runs, duration=duration, seed=seed)[0]
+        text = store.get_text(spec.key)
+        if text is None:
+            raise MissingRunError(spec.key)
+        return text
+    if target not in AB_TARGETS:
+        raise CampaignError(f"unknown campaign target {target!r}")
+    artefact = AB_TARGETS[target](
+        runs=runs,
+        duration=duration,
+        processes=1,
+        seed=seed,
+        runner=store_runner(store, target),
+    )
+    return artefact.format()
+
+
+# ----------------------------------------------------------------------
+# the campaign driver
+# ----------------------------------------------------------------------
+def run_campaign(
+    targets: Sequence[str],
+    *,
+    store: Optional[ResultStore] = None,
+    runs: int = 3,
+    duration: float = 200.0,
+    seed: int = 1,
+    processes: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    resume: bool = False,
+    log_stream=sys.stderr,
+) -> CampaignReport:
+    """Plan, execute and assemble a full campaign.
+
+    With ``resume=True`` runs already in the store are skipped; failures
+    recorded by earlier campaigns are always retried.  The report carries
+    the rendered artefact of every target whose runs all succeeded
+    (``outputs``) and an error note for the rest (``errors``).
+    """
+    if retries < 0:
+        raise CampaignError("retries must be >= 0")
+    store = store if store is not None else ResultStore()
+    started = time.time()
+    target_list = resolve_targets(targets)
+    specs = plan_campaign(target_list, runs=runs, duration=duration, seed=seed)
+    report = CampaignReport(planned=len(specs))
+
+    to_run: List[RunSpec] = []
+    for spec in specs:
+        if resume and store.has(spec.key):
+            report.skipped += 1
+        else:
+            to_run.append(spec)
+    _log(
+        log_stream,
+        f"{len(specs)} runs planned for {len(target_list)} targets "
+        f"({report.skipped} already stored, {len(to_run)} to execute, "
+        f"processes={processes}, timeout="
+        f"{'off' if not timeout else f'{timeout:.0f}s'}, retries={retries})",
+    )
+    if to_run:
+        _execute_specs(
+            to_run,
+            store=store,
+            processes=processes,
+            timeout=timeout,
+            retries=retries,
+            report=report,
+            log_stream=log_stream,
+        )
+
+    for target in target_list:
+        try:
+            report.outputs[target] = assemble_target(
+                target, store, runs=runs, duration=duration, seed=seed
+            )
+        except MissingRunError as exc:
+            report.errors[target] = str(exc)
+            _log(log_stream, f"cannot assemble {target}: {exc}")
+    report.wall_time_s = time.time() - started
+    _log(log_stream, report.summary())
+    return report

@@ -4,8 +4,16 @@ Examples::
 
     repro-experiments table1
     repro-experiments fig7a --runs 3 --duration 100 --processes 8
-    repro-experiments fig12b
-    repro-experiments all --runs 2 --duration 60 --processes 8
+    repro-experiments fig7a --save --results-dir results --processes 8
+    repro-experiments campaign all --resume --processes 8 --timeout 900
+    repro-experiments campaign fig7 fig9 fig14a --resume
+
+``campaign`` is the fault-tolerant way to regenerate many artefacts: every
+individual simulation run lands in the persistent result store as it
+finishes, so an interrupted campaign re-issued with ``--resume`` executes
+only the missing runs (this replaces the old ``run_remaining*.sh``
+restart scripts, which re-ran everything).  ``--save`` on a single target
+routes it through the same store.
 """
 
 from __future__ import annotations
@@ -15,6 +23,12 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.experiments.campaign import (
+    CampaignError,
+    MissingRunError,
+    TARGET_ALIASES,
+    run_campaign,
+)
 from repro.experiments.figures import (
     fig7,
     fig8,
@@ -25,13 +39,36 @@ from repro.experiments.figures import (
     fig14,
     tables,
 )
+from repro.experiments.store import DEFAULT_RESULTS_DIR, ResultStore
 
-_STANDARD_KW = ("runs", "duration", "processes", "seed")
+#: Targets that are single whole runs: ``--runs``/``--processes`` do not
+#: apply (warned about on stderr instead of silently ignored).
+_SINGLE_RUN_TARGETS = ("table1", "table2", "fig12a", "fig12b", "fig13")
 
 
 def _emit(text: str) -> None:
     print(text)
     print()
+
+
+def _warn_ignored_flags(name: str, args: argparse.Namespace) -> None:
+    """Flag combinations that look meaningful but are not for ``name``."""
+    if name not in _SINGLE_RUN_TARGETS:
+        return
+    ignored = []
+    if args.runs != 3:
+        ignored.append(f"--runs {args.runs}")
+    if args.processes != 1:
+        ignored.append(f"--processes {args.processes}")
+    if name == "fig13" and args.duration != 200.0:
+        ignored.append(f"--duration {args.duration}")
+    if ignored:
+        verb = "has" if len(ignored) == 1 else "have"
+        print(
+            f"warning: {name} is a single deterministic run; "
+            f"{' and '.join(ignored)} {verb} no effect on it",
+            file=sys.stderr,
+        )
 
 
 def _run_target(name: str, args: argparse.Namespace) -> None:
@@ -42,6 +79,7 @@ def _run_target(name: str, args: argparse.Namespace) -> None:
         seed=args.seed,
     )
     started = time.time()
+    _warn_ignored_flags(name, args)
     if name == "table1":
         _emit(tables.table1())
     elif name == "table2":
@@ -90,6 +128,37 @@ def _run_target(name: str, args: argparse.Namespace) -> None:
     print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
 
 
+def _run_saved(targets: List[str], args: argparse.Namespace) -> int:
+    """Route targets through the store (``--save`` / ``campaign``).
+
+    Stored runs are reused, missing ones are executed and stored, and the
+    artefacts are assembled from the store.  Exit status is non-zero when
+    any run stayed failed or any artefact could not be assembled.
+    """
+    store = ResultStore(args.results_dir)
+    for name in targets:
+        _warn_ignored_flags(name, args)
+    try:
+        report = run_campaign(
+            targets,
+            store=store,
+            runs=args.runs,
+            duration=args.duration,
+            seed=args.seed,
+            processes=args.processes,
+            timeout=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+        )
+    except CampaignError as exc:
+        raise SystemExit(str(exc))
+    for name, text in report.outputs.items():
+        _emit(text)
+    for name, error in report.errors.items():
+        print(f"error: {name}: {error}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 ALL_TARGETS = [
     "table1",
     "table2",
@@ -116,17 +185,7 @@ ALL_TARGETS = [
 ]
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate tables/figures of the DSN'23 GeoNetworking "
-        "attack paper.",
-    )
-    parser.add_argument(
-        "target",
-        choices=ALL_TARGETS + ["all"],
-        help="which artefact to regenerate ('all' runs every one)",
-    )
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--runs", type=int, default=3, help="A/B runs per setting")
     parser.add_argument(
         "--duration", type=float, default=200.0, help="simulated seconds per run"
@@ -135,7 +194,85 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--processes", type=int, default=1, help="worker processes for runs"
     )
     parser.add_argument("--seed", type=int, default=1, help="base random seed")
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        help="persistent result store root (default: %(default)s)",
+    )
+
+
+def _build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments campaign",
+        description="Run many targets fault-tolerantly on top of the "
+        "persistent result store.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target",
+        help="targets to regenerate; aliases: "
+        + ", ".join(sorted(TARGET_ALIASES)),
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs already in the store (recorded failures are retried)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run timeout in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per run before recording a failure (default: %(default)s)",
+    )
+    return parser
+
+
+def _build_target_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures of the DSN'23 GeoNetworking "
+        "attack paper.  Use the 'campaign' subcommand for fault-tolerant "
+        "multi-target runs with resume.",
+    )
+    parser.add_argument(
+        "target",
+        choices=ALL_TARGETS + ["all", "fig7", "fig9", "campaign"],
+        help="which artefact to regenerate ('all' runs every one)",
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--save",
+        action="store_true",
+        help="route through the result store: reuse stored runs, store new "
+        "ones, assemble the artefact from the store",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        args = _build_campaign_parser().parse_args(argv[1:])
+        return _run_saved(args.targets, args)
+    args = _build_target_parser().parse_args(argv)
+    if args.target == "campaign":
+        raise SystemExit("usage: repro-experiments campaign <targets...>")
+    if args.save:
+        # Single-target save behaves like a one-target resuming campaign.
+        args.resume = True
+        args.timeout = None
+        args.retries = 1
+        targets = ALL_TARGETS if args.target == "all" else [args.target]
+        return _run_saved(targets, args)
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for name in targets:
         _run_target(name, args)

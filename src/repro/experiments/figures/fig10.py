@@ -12,6 +12,7 @@ import dataclasses
 from typing import Dict
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures.fig7 import AbRunner
 from repro.experiments.reporting import FigureResult, cumulative_table
 from repro.experiments.runner import run_ab
 from repro.radio.technology import DSRC
@@ -50,7 +51,12 @@ def _scenarios(duration: float, seed: int) -> Dict[str, ExperimentConfig]:
 
 
 def figure10(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Cumulative blockage rates for all DSRC intra-area scenarios."""
     result = FigureResult(
@@ -60,7 +66,7 @@ def figure10(
     for label, config in _scenarios(duration, seed).items():
         result.add(
             label,
-            run_ab(config.with_(label=label), runs=runs, processes=processes),
+            runner(config.with_(label=label), runs=runs, processes=processes),
         )
     result.notes.append(
         cumulative_table("Fig10", result.series, bin_width=5.0)

@@ -1,22 +1,32 @@
 """Fig 12 — vehicles on road over time under the hazard scenario.
 
-Thin figure-facing wrappers around :mod:`repro.experiments.impact`.
+Thin figure-facing wrappers around :mod:`repro.experiments.impact`.  The
+campaign orchestrator treats these panels as whole-run targets: the
+rendered comparison is stored under a key hashed from the parameters below
+(see :mod:`repro.experiments.campaign`), so the defaults are module
+constants rather than magic numbers.
 """
 
 from __future__ import annotations
 
 from repro.experiments.impact import ImpactComparison, compare_impact
 
+#: Entrance spawn gap (metres) — ~1 vehicle/s/direction, matching the
+#: vehicle counts the paper's Fig 12 implies.
+DEFAULT_SPAWN_GAP = 55.0
+
+__all__ = ["DEFAULT_SPAWN_GAP", "ImpactComparison", "fig12a", "fig12b"]
+
 
 def fig12a(
-    *, duration: float = 200.0, seed: int = 1, spawn_gap: float = 55.0
+    *, duration: float = 200.0, seed: int = 1, spawn_gap: float = DEFAULT_SPAWN_GAP
 ) -> ImpactComparison:
     """Case 1: GF hazard notification vs the inter-area interception attack."""
     return compare_impact("1", duration=duration, seed=seed, spawn_gap=spawn_gap)
 
 
 def fig12b(
-    *, duration: float = 200.0, seed: int = 1, spawn_gap: float = 55.0
+    *, duration: float = 200.0, seed: int = 1, spawn_gap: float = DEFAULT_SPAWN_GAP
 ) -> ImpactComparison:
     """Case 2: CBF hazard notification vs the intra-area blockage attack."""
     return compare_impact("2", duration=duration, seed=seed, spawn_gap=spawn_gap)

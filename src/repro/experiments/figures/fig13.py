@@ -1,13 +1,21 @@
 """Fig 13 — speed profiles in the road-safety curve scenario.
 
-Thin figure-facing wrapper around :mod:`repro.experiments.safety`.
+Thin figure-facing wrapper around :mod:`repro.experiments.safety`.  The
+curve scenario has its own natural duration (both vehicles have passed the
+apex well within 40 s), so the global ``--duration`` flag does not apply —
+the campaign orchestrator keys this target on the constant below instead.
 """
 
 from __future__ import annotations
 
 from repro.experiments.safety import SafetyComparison, compare_safety
 
+#: Simulated seconds of the curve scenario (not the global --duration).
+DEFAULT_DURATION = 40.0
 
-def fig13(*, seed: int = 1, duration: float = 40.0) -> SafetyComparison:
+__all__ = ["DEFAULT_DURATION", "SafetyComparison", "fig13"]
+
+
+def fig13(*, seed: int = 1, duration: float = DEFAULT_DURATION) -> SafetyComparison:
     """The paired curve-scenario runs (13a: V1 profile, 13b: V2 profile)."""
     return compare_safety(seed=seed, duration=duration)

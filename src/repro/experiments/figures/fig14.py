@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.config import AttackKind, ExperimentConfig
+from repro.experiments.figures.fig7 import AbRunner
 from repro.experiments.runner import AbResult, run_ab
 from repro.radio.technology import DSRC, RangeClass
 
@@ -70,6 +71,7 @@ def fig14a(
     processes: int = 1,
     seed: int = 1,
     threshold: Optional[float] = None,
+    runner: AbRunner = run_ab,
 ) -> MitigationFigure:
     """GF plausibility check vs the inter-area attack (DSRC)."""
     base = ExperimentConfig.inter_area_default(duration=duration, seed=seed)
@@ -86,12 +88,12 @@ def fig14a(
         attack = dataclasses.replace(
             base.attack, attack_range=DSRC.range_for(range_class)
         )
-        unmitigated = run_ab(
+        unmitigated = runner(
             base.with_(attack=attack, label=f"{label}-plain"),
             runs=runs,
             processes=processes,
         )
-        mitigated = run_ab(
+        mitigated = runner(
             base.with_(
                 attack=attack, geonet=mitigated_geonet, label=f"{label}-check"
             ),
@@ -123,6 +125,7 @@ def fig14b(
     processes: int = 1,
     seed: int = 1,
     threshold: int = 3,
+    runner: AbRunner = run_ab,
 ) -> MitigationFigure:
     """CBF RHL-drop check vs the intra-area attack (DSRC)."""
     base = ExperimentConfig.intra_area_default(duration=duration, seed=seed)
@@ -137,12 +140,12 @@ def fig14b(
         attack = dataclasses.replace(
             base.attack, attack_range=DSRC.range_for(range_class)
         )
-        unmitigated = run_ab(
+        unmitigated = runner(
             base.with_(attack=attack, label=f"{label}-plain"),
             runs=runs,
             processes=processes,
         )
-        mitigated = run_ab(
+        mitigated = runner(
             base.with_(
                 attack=attack, geonet=mitigated_geonet, label=f"{label}-rhl"
             ),

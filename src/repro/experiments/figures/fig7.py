@@ -13,11 +13,17 @@ Five panels sweep one parameter each against the paper's defaults
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import FigureResult
-from repro.experiments.runner import run_ab
+from repro.experiments.runner import AbResult, run_ab
+
+#: A runner executes one A/B setting.  The default is the in-memory
+#: :func:`~repro.experiments.runner.run_ab`; the campaign orchestrator
+#: injects a store-backed runner that assembles precomputed
+#: :class:`~repro.experiments.runner.RunResult`\ s instead of simulating.
+AbRunner = Callable[..., AbResult]
 from repro.radio.technology import DSRC, RadioTechnology, RangeClass
 
 RANGE_LABELS = (
@@ -43,6 +49,7 @@ def _sweep_ranges(
     duration: float,
     processes: int,
     seed: int,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     result = FigureResult(
         figure_id=figure_id,
@@ -56,32 +63,59 @@ def _sweep_ranges(
             ),
             label=f"{technology.name}-{label}",
         )
-        result.add(label, run_ab(config, runs=runs, processes=processes))
+        result.add(label, runner(config, runs=runs, processes=processes))
     return result
 
 
 def fig7a(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Attack ranges with DSRC."""
     return _sweep_ranges(
-        "Fig7a", DSRC, runs=runs, duration=duration, processes=processes, seed=seed
+        "Fig7a",
+        DSRC,
+        runs=runs,
+        duration=duration,
+        processes=processes,
+        seed=seed,
+        runner=runner,
     )
 
 
 def fig7b(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Attack ranges with C-V2X."""
     from repro.radio.technology import CV2X
 
     return _sweep_ranges(
-        "Fig7b", CV2X, runs=runs, duration=duration, processes=processes, seed=seed
+        "Fig7b",
+        CV2X,
+        runs=runs,
+        duration=duration,
+        processes=processes,
+        seed=seed,
+        runner=runner,
     )
 
 
 def fig7c(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """LocTE TTL sweep (DSRC, worst-NLoS attacker, plus mN @ TTL 5 s)."""
     result = FigureResult(
@@ -93,7 +127,7 @@ def fig7c(
             geonet=dataclasses.replace(base.geonet, loct_ttl=ttl),
             label=f"ttl{ttl:.0f}",
         )
-        result.add(f"ttl={ttl:.0f}s", run_ab(config, runs=runs, processes=processes))
+        result.add(f"ttl={ttl:.0f}s", runner(config, runs=runs, processes=processes))
     # The paper's extra series: a median-NLoS attacker still intercepts
     # almost everything even at the shortest TTL.
     config = base.with_(
@@ -101,12 +135,17 @@ def fig7c(
         attack=dataclasses.replace(base.attack, attack_range=DSRC.nlos_median_m),
         label="ttl5-mN",
     )
-    result.add("ttl=5s,mN", run_ab(config, runs=runs, processes=processes))
+    result.add("ttl=5s,mN", runner(config, runs=runs, processes=processes))
     return result
 
 
 def fig7d(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Inter-vehicle space sweep (DSRC, worst-NLoS attacker)."""
     result = FigureResult(
@@ -118,12 +157,17 @@ def fig7d(
             road=dataclasses.replace(base.road, inter_vehicle_space=spacing),
             label=f"i{spacing:.0f}",
         )
-        result.add(f"i={spacing:.0f}m", run_ab(config, runs=runs, processes=processes))
+        result.add(f"i={spacing:.0f}m", runner(config, runs=runs, processes=processes))
     return result
 
 
 def fig7e(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Single- vs two-direction road (DSRC, worst-NLoS attacker)."""
     result = FigureResult(
@@ -137,7 +181,7 @@ def fig7e(
         )
         result.add(
             f"{directions} direction(s)",
-            run_ab(config, runs=runs, processes=processes),
+            runner(config, runs=runs, processes=processes),
         )
     return result
 
@@ -149,13 +193,18 @@ def figure7(
     processes: int = 1,
     seed: int = 1,
     panels: Optional[str] = None,
+    runner: AbRunner = run_ab,
 ) -> dict:
     """Run all (or selected) panels; returns {panel: FigureResult}."""
     drivers = {"a": fig7a, "b": fig7b, "c": fig7c, "d": fig7d, "e": fig7e}
     wanted = panels or "abcde"
     return {
         panel: drivers[panel](
-            runs=runs, duration=duration, processes=processes, seed=seed
+            runs=runs,
+            duration=duration,
+            processes=processes,
+            seed=seed,
+            runner=runner,
         )
         for panel in wanted
     }

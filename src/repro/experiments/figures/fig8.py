@@ -12,6 +12,7 @@ import dataclasses
 from typing import Dict
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures.fig7 import AbRunner
 from repro.experiments.reporting import FigureResult, cumulative_table
 from repro.experiments.runner import run_ab
 from repro.radio.technology import DSRC
@@ -54,7 +55,12 @@ def _scenarios(duration: float, seed: int) -> Dict[str, ExperimentConfig]:
 
 
 def figure8(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Cumulative interception rates for all DSRC inter-area scenarios."""
     result = FigureResult(
@@ -64,7 +70,7 @@ def figure8(
     for label, config in _scenarios(duration, seed).items():
         result.add(
             label,
-            run_ab(config.with_(label=label), runs=runs, processes=processes),
+            runner(config.with_(label=label), runs=runs, processes=processes),
         )
     result.notes.append(
         cumulative_table("Fig8", result.series, bin_width=5.0)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures.fig7 import AbRunner
 from repro.experiments.reporting import FigureResult
 from repro.experiments.runner import AbResult, run_ab
 from repro.radio.technology import CV2X, DSRC, RadioTechnology, RangeClass
@@ -47,6 +48,7 @@ def _sweep_ranges(
     duration: float,
     processes: int,
     seed: int,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     result = FigureResult(
         figure_id=figure_id,
@@ -60,30 +62,57 @@ def _sweep_ranges(
             ),
             label=f"{technology.name}-{label}",
         )
-        result.add(label, run_ab(config, runs=runs, processes=processes))
+        result.add(label, runner(config, runs=runs, processes=processes))
     return result
 
 
 def fig9a(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Attack ranges with DSRC."""
     return _sweep_ranges(
-        "Fig9a", DSRC, runs=runs, duration=duration, processes=processes, seed=seed
+        "Fig9a",
+        DSRC,
+        runs=runs,
+        duration=duration,
+        processes=processes,
+        seed=seed,
+        runner=runner,
     )
 
 
 def fig9b(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Attack ranges with C-V2X."""
     return _sweep_ranges(
-        "Fig9b", CV2X, runs=runs, duration=duration, processes=processes, seed=seed
+        "Fig9b",
+        CV2X,
+        runs=runs,
+        duration=duration,
+        processes=processes,
+        seed=seed,
+        runner=runner,
     )
 
 
 def fig9c(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """LocTE TTL sweep — CBF does not consult the LocT, so λ stays flat."""
     result = FigureResult(
@@ -95,12 +124,17 @@ def fig9c(
             geonet=dataclasses.replace(base.geonet, loct_ttl=ttl),
             label=f"ttl{ttl:.0f}",
         )
-        result.add(f"ttl={ttl:.0f}s", run_ab(config, runs=runs, processes=processes))
+        result.add(f"ttl={ttl:.0f}s", runner(config, runs=runs, processes=processes))
     return result
 
 
 def fig9d(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Inter-vehicle space sweep (DSRC, median-NLoS attacker)."""
     result = FigureResult(
@@ -112,12 +146,17 @@ def fig9d(
             road=dataclasses.replace(base.road, inter_vehicle_space=spacing),
             label=f"i{spacing:.0f}",
         )
-        result.add(f"i={spacing:.0f}m", run_ab(config, runs=runs, processes=processes))
+        result.add(f"i={spacing:.0f}m", runner(config, runs=runs, processes=processes))
     return result
 
 
 def fig9e(
-    *, runs: int = 3, duration: float = 200.0, processes: int = 1, seed: int = 1
+    *,
+    runs: int = 3,
+    duration: float = 200.0,
+    processes: int = 1,
+    seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """Single- vs two-direction road (DSRC, median-NLoS attacker)."""
     result = FigureResult(
@@ -131,7 +170,7 @@ def fig9e(
         )
         result.add(
             f"{directions} direction(s)",
-            run_ab(config, runs=runs, processes=processes),
+            runner(config, runs=runs, processes=processes),
         )
     return result
 
@@ -143,6 +182,7 @@ def attack_range_tuning(
     duration: float = 200.0,
     processes: int = 1,
     seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> FigureResult:
     """§IV-A text: tune the attack range around the 500 m optimum."""
     result = FigureResult(
@@ -156,7 +196,7 @@ def attack_range_tuning(
         )
         result.add(
             f"range={attack_range:.0f}m",
-            run_ab(config, runs=runs, processes=processes),
+            runner(config, runs=runs, processes=processes),
         )
     return result
 
@@ -199,6 +239,7 @@ def source_location_study(
     duration: float = 200.0,
     processes: int = 1,
     seed: int = 1,
+    runner: AbRunner = run_ab,
 ) -> SourceLocationStudy:
     """Compare blockage for sources inside vs outside the fully covered area.
 
@@ -227,7 +268,7 @@ def source_location_study(
                 )
                 yield af_out.in_fully_covered_area, drop
 
-    ab = run_ab(config, runs=runs, processes=processes)
+    ab = runner(config, runs=runs, processes=processes)
     for inside, drop in paired_drops(ab):
         (inside_drops if inside else outside_drops).append(drop)
 
@@ -241,7 +282,7 @@ def source_location_study(
             ),
             label=f"src-loc-fca-{attack_range:.0f}",
         )
-        fca_ab = run_ab(fca_config, runs=runs, processes=processes)
+        fca_ab = runner(fca_config, runs=runs, processes=processes)
         for inside, drop in paired_drops(fca_ab):
             if inside:
                 inside_drops.append(drop)
@@ -275,13 +316,18 @@ def figure9(
     processes: int = 1,
     seed: int = 1,
     panels: Optional[str] = None,
+    runner: AbRunner = run_ab,
 ) -> Dict[str, FigureResult]:
     """Run all (or selected) panels; returns {panel: FigureResult}."""
     drivers = {"a": fig9a, "b": fig9b, "c": fig9c, "d": fig9d, "e": fig9e}
     wanted = panels or "abcde"
     return {
         panel: drivers[panel](
-            runs=runs, duration=duration, processes=processes, seed=seed
+            runs=runs,
+            duration=duration,
+            processes=processes,
+            seed=seed,
+            runner=runner,
         )
         for panel in wanted
     }

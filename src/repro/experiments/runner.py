@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import AttackKind, ExperimentConfig
 from repro.experiments.metrics import (
@@ -72,6 +72,31 @@ def run_single(
 def _run_worker(args) -> RunResult:
     config, attacked, seed = args
     return run_single(config, attacked=attacked, seed=seed)
+
+
+#: One unit of simulation work: (config, attacked, seed).
+RunJob = Tuple[ExperimentConfig, bool, int]
+
+
+def expand_jobs(
+    config: ExperimentConfig, runs: int, *, base_seed: Optional[int] = None
+) -> List[RunJob]:
+    """The individual runs an A/B setting needs, in deterministic order.
+
+    Shared by :func:`run_ab` (in-memory execution) and the campaign
+    orchestrator (store lookup + pool fan-out), so both agree exactly on
+    which ``(config, attacked, seed)`` runs make up a setting.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    base = config.seed if base_seed is None else base_seed
+    jobs: List[RunJob] = []
+    for k in range(runs):
+        seed = base + k
+        jobs.append((config, False, seed))
+        if config.attack.kind is not AttackKind.NONE:
+            jobs.append((config, True, seed))
+    return jobs
 
 
 @dataclass
@@ -159,15 +184,7 @@ def run_ab(
     The attack-free twin of each attacked run uses the same seed, so the
     traffic and the workload are identical packet-for-packet.
     """
-    if runs < 1:
-        raise ValueError("runs must be >= 1")
-    base = config.seed if base_seed is None else base_seed
-    jobs = []
-    for k in range(runs):
-        seed = base + k
-        jobs.append((config, False, seed))
-        if config.attack.kind is not AttackKind.NONE:
-            jobs.append((config, True, seed))
+    jobs = expand_jobs(config, runs, base_seed=base_seed)
     if processes > 1 and len(jobs) > 1:
         with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
             results = pool.map(_run_worker, jobs)

@@ -1,0 +1,317 @@
+"""The persistent result store for experiment campaigns.
+
+Every simulated run is identified by a :class:`RunKey` — ``(target,
+config-hash, seed, attacked)`` — and stored as one JSON file under the
+store root (``results/`` by default)::
+
+    results/<target>/<config-hash>/s<seed>-<atk|af>.json
+
+The config hash is content-addressed: a SHA-256 over the canonical JSON
+serialisation of the full :class:`~repro.experiments.config.ExperimentConfig`
+(nested dataclasses, enums and the radio technology included), so two runs
+share a file if and only if they simulate the identical scenario.  Writes
+are atomic (temp file + ``os.replace``) — a campaign killed mid-write never
+leaves a truncated record behind — and every record carries a schema
+version; records written by an incompatible schema are treated as absent
+and re-run rather than mis-parsed.
+
+Three record kinds exist:
+
+* ``run`` — a full :class:`~repro.experiments.runner.RunResult` (the A/B
+  figure substrate);
+* ``text`` — a rendered artefact for targets that are not A/B sweeps
+  (tables, Fig 12/13, the overhead report);
+* ``failure`` — a run that exhausted its retries; kept for forensics,
+  reported by the campaign, and retried on the next ``--resume``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.experiments.metrics import BinnedRates, PacketOutcome
+from repro.experiments.runner import RunResult
+
+#: Bumped whenever the on-disk record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default store root, relative to the working directory.
+DEFAULT_RESULTS_DIR = "results"
+
+
+class StoreError(RuntimeError):
+    """Raised on malformed store operations (not on missing records)."""
+
+
+# ----------------------------------------------------------------------
+# canonical config serialisation / hashing
+# ----------------------------------------------------------------------
+def jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses/enums/tuples into JSON-stable data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise StoreError(f"cannot serialise {type(obj).__name__!r} for the store")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for hashing (sorted keys, no whitespace)."""
+    return json.dumps(jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: Any) -> str:
+    """Content hash of a config (or any jsonable parameter set)."""
+    digest = hashlib.sha256(canonical_json(config).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunKey:
+    """The identity of one stored run."""
+
+    target: str
+    config_hash: str
+    seed: int
+    attacked: bool
+
+    def __post_init__(self):
+        if not self.target or "/" in self.target:
+            raise StoreError(f"invalid target name {self.target!r}")
+
+    @property
+    def filename(self) -> str:
+        return f"s{self.seed}-{'atk' if self.attacked else 'af'}.json"
+
+    @staticmethod
+    def for_config(
+        target: str, config: Any, *, seed: int, attacked: bool
+    ) -> "RunKey":
+        """Build the key for one run of ``config``."""
+        return RunKey(
+            target=target,
+            config_hash=config_hash(config),
+            seed=seed,
+            attacked=attacked,
+        )
+
+
+# ----------------------------------------------------------------------
+# RunResult <-> JSON
+# ----------------------------------------------------------------------
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Serialise a RunResult to plain JSON data (floats round-trip exactly)."""
+    return {
+        "seed": result.seed,
+        "attacked": result.attacked,
+        "overall_rate": result.overall_rate,
+        "n_packets": result.n_packets,
+        "binned": {
+            "bin_width": result.binned.bin_width,
+            "rates": result.binned.rates,
+        },
+        "outcomes": [
+            {
+                "packet_id": list(o.packet_id),
+                "send_time": o.send_time,
+                "source_x": o.source_x,
+                "direction": o.direction,
+                "success": o.success,
+                "receivers": o.receivers,
+                "denominator": o.denominator,
+                "in_fully_covered_area": o.in_fully_covered_area,
+                "delivery_latency": o.delivery_latency,
+            }
+            for o in result.outcomes
+        ],
+        "extras": dict(result.extras),
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a RunResult from its stored form."""
+    return RunResult(
+        seed=int(data["seed"]),
+        attacked=bool(data["attacked"]),
+        binned=BinnedRates(
+            bin_width=float(data["binned"]["bin_width"]),
+            rates=list(data["binned"]["rates"]),
+        ),
+        overall_rate=float(data["overall_rate"]),
+        n_packets=int(data["n_packets"]),
+        outcomes=[
+            PacketOutcome(
+                packet_id=tuple(o["packet_id"]),
+                send_time=o["send_time"],
+                source_x=o["source_x"],
+                direction=o["direction"],
+                success=o["success"],
+                receivers=o["receivers"],
+                denominator=o["denominator"],
+                in_fully_covered_area=o["in_fully_covered_area"],
+                delivery_latency=o["delivery_latency"],
+            )
+            for o in data["outcomes"]
+        ],
+        extras={str(k): float(v) for k, v in data["extras"].items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """A directory of atomically-written, schema-versioned run records."""
+
+    def __init__(self, root: "str | os.PathLike[str]" = DEFAULT_RESULTS_DIR):
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, key: RunKey) -> Path:
+        return self.root / key.target / key.config_hash / key.filename
+
+    # -- raw records ----------------------------------------------------
+    def _write(self, key: RunKey, record: Dict[str, Any]) -> Path:
+        """Atomically write ``record`` for ``key`` (temp file + replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_record(self, key: RunKey) -> Optional[Dict[str, Any]]:
+        """The raw record for ``key``; None if absent, unreadable, or from
+        an incompatible schema version (such records are re-run, never
+        mis-parsed)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema") != SCHEMA_VERSION:
+            return None
+        return record
+
+    def _base_record(self, key: RunKey, kind: str) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "target": key.target,
+            "config_hash": key.config_hash,
+            "seed": key.seed,
+            "attacked": key.attacked,
+        }
+
+    # -- run records ----------------------------------------------------
+    def put_run(
+        self, key: RunKey, result: RunResult, *, config: Any = None
+    ) -> Path:
+        """Store a completed RunResult (``config`` is kept for forensics)."""
+        record = self._base_record(key, "run")
+        record["result"] = run_result_to_dict(result)
+        if config is not None:
+            record["config"] = jsonable(config)
+        return self._write(key, record)
+
+    def get_run(self, key: RunKey) -> Optional[RunResult]:
+        """The stored RunResult, or None (absent / failed / wrong kind)."""
+        record = self.get_record(key)
+        if record is None or record.get("kind") != "run":
+            return None
+        return run_result_from_dict(record["result"])
+
+    # -- text records ---------------------------------------------------
+    def put_text(
+        self, key: RunKey, text: str, *, params: Any = None
+    ) -> Path:
+        """Store a rendered artefact for a non-A/B target."""
+        record = self._base_record(key, "text")
+        record["text"] = text
+        if params is not None:
+            record["params"] = jsonable(params)
+        return self._write(key, record)
+
+    def get_text(self, key: RunKey) -> Optional[str]:
+        record = self.get_record(key)
+        if record is None or record.get("kind") != "text":
+            return None
+        return record["text"]
+
+    # -- failure records ------------------------------------------------
+    def put_failure(self, key: RunKey, error: str) -> Path:
+        """Record a run that exhausted its retries (retried on resume)."""
+        record = self._base_record(key, "failure")
+        record["error"] = error
+        return self._write(key, record)
+
+    def get_failure(self, key: RunKey) -> Optional[str]:
+        record = self.get_record(key)
+        if record is None or record.get("kind") != "failure":
+            return None
+        return record["error"]
+
+    # -- queries --------------------------------------------------------
+    def has(self, key: RunKey) -> bool:
+        """Whether a *successful* (run or text) record exists for ``key``."""
+        record = self.get_record(key)
+        return record is not None and record.get("kind") in ("run", "text")
+
+    def iter_keys(self) -> Iterator[RunKey]:
+        """Every key with any record on disk (including failures)."""
+        if not self.root.is_dir():
+            return
+        for target_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for hash_dir in sorted(
+                p for p in target_dir.iterdir() if p.is_dir()
+            ):
+                for path in sorted(hash_dir.glob("s*-*.json")):
+                    stem = path.stem  # s<seed>-<atk|af>
+                    try:
+                        seed_txt, kind_txt = stem[1:].rsplit("-", 1)
+                        yield RunKey(
+                            target=target_dir.name,
+                            config_hash=hash_dir.name,
+                            seed=int(seed_txt),
+                            attacked=(kind_txt == "atk"),
+                        )
+                    except (ValueError, StoreError):
+                        continue
+
+    def count(self) -> int:
+        return sum(1 for _ in self.iter_keys())

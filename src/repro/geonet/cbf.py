@@ -21,8 +21,8 @@ hop; the attacker's RHL=1 rewrite differs by many).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.geo.position import Position
 from repro.geonet.checks import duplicate_rhl_plausible
@@ -44,6 +44,18 @@ def contention_timeout(distance: float, config: GeoNetConfig) -> float:
 #: Bound on consecutive carrier-sense backoffs, so a pathologically busy
 #: medium cannot park a packet forever.
 _MAX_CSMA_DEFERS = 20
+
+#: Slack added to a packet's lifetime before its duplicate-detection entry
+#: may be dropped.  Generous relative to real copy arrival (forwarders check
+#: ``expired()`` before re-emitting and CSMA defers are bounded at
+#: ~20 × 1.5 ms), so expiring the entry can never un-suppress a copy that
+#: could actually still arrive.
+_DONE_GRACE = 1.0
+
+#: How often ``handle_broadcast`` sweeps expired duplicate-detection
+#: entries.  Purely a cost/latency trade-off: entries are unreachable the
+#: moment their packet is expired either way.
+_DONE_SWEEP_INTERVAL = 5.0
 
 
 @dataclass
@@ -100,7 +112,12 @@ class CbfForwarder:
         #: hears the in-flight duplicate and cancels like real radios do.
         self._medium_busy = medium_busy
         self._buffers: Dict[PacketId, _BufferedPacket] = {}
-        self._done: Set[PacketId] = set()
+        #: Duplicate-detection memory: packet id -> simulation time after
+        #: which the entry may be swept.  Keyed on the packet's own lifetime
+        #: (plus grace), so the set is bounded by the packets *currently
+        #: alive* in the network instead of growing for the whole run.
+        self._done: Dict[PacketId, float] = {}
+        self._next_done_sweep = _DONE_SWEEP_INTERVAL
         self.stats = CbfStats()
 
     # ------------------------------------------------------------------
@@ -114,12 +131,38 @@ class CbfForwarder:
         """Whether this node has already received the packet."""
         return packet_id in self._done or packet_id in self._buffers
 
-    def mark_done(self, packet_id: PacketId) -> None:
+    def mark_done(
+        self, packet_id: PacketId, *, expires_at: Optional[float] = None
+    ) -> None:
         """Record a packet as processed without buffering it.
 
         Used for deliveries that cannot be forwarded (exhausted hop budget).
+        ``expires_at`` is the packet's lifetime end when the caller knows it;
+        without it the entry is conservatively kept for the protocol's
+        default lifetime.  An already-known entry only ever extends.
         """
-        self._done.add(packet_id)
+        if expires_at is None:
+            expires_at = self._sim.now + self.config.default_lifetime
+        drop_after = expires_at + _DONE_GRACE
+        previous = self._done.get(packet_id)
+        if previous is None or drop_after > previous:
+            self._done[packet_id] = drop_after
+
+    def _remember_done(self, packet: GeoBroadcastPacket) -> None:
+        """Mark ``packet`` done until its own lifetime (plus grace) is up."""
+        body = packet.body
+        self.mark_done(
+            packet.packet_id, expires_at=body.created_at + body.lifetime
+        )
+
+    def _sweep_done(self, now: float) -> None:
+        """Drop duplicate-detection entries whose packets cannot recur."""
+        if now < self._next_done_sweep:
+            return
+        self._next_done_sweep = now + _DONE_SWEEP_INTERVAL
+        dead = [pid for pid, drop_after in self._done.items() if now > drop_after]
+        for pid in dead:
+            del self._done[pid]
 
     # ------------------------------------------------------------------
     # reception
@@ -127,6 +170,7 @@ class CbfForwarder:
     def handle_broadcast(self, packet: GeoBroadcastPacket) -> None:
         """Process a GeoBroadcast heard on the channel (node is in-area)."""
         now = self._sim.now
+        self._sweep_done(now)
         packet_id = packet.packet_id
         buffered = self._buffers.get(packet_id)
         if buffered is not None:
@@ -149,19 +193,19 @@ class CbfForwarder:
             return
         buffered.timer.cancel()
         del self._buffers[buffered.packet.packet_id]
-        self._done.add(buffered.packet.packet_id)
+        self._remember_done(buffered.packet)
         self.stats.suppressed_by_duplicate += 1
 
     def _first_reception(self, packet: GeoBroadcastPacket, now: float) -> None:
         self.stats.first_receptions += 1
         self._deliver(packet)
         if packet.expired(now):
-            self._done.add(packet.packet_id)
+            self._remember_done(packet)
             return
         forward_rhl = packet.rhl - 1
         if forward_rhl <= 0:
             self.stats.rhl_exhausted += 1
-            self._done.add(packet.packet_id)
+            self._remember_done(packet)
             return
         distance = self._get_position().distance_to(packet.sender_position)
         timeout = contention_timeout(distance, self.config)
@@ -186,7 +230,7 @@ class CbfForwarder:
 
         The node counts as having received its own packet.
         """
-        self._done.add(packet.packet_id)
+        self._remember_done(packet)
         self._broadcast(packet, packet.rhl)
         self.stats.rebroadcasts += 1
 
@@ -211,7 +255,7 @@ class CbfForwarder:
             self.stats.csma_defers += 1
             return
         del self._buffers[packet_id]
-        self._done.add(packet_id)
+        self._remember_done(buffered.packet)
         if buffered.packet.expired(self._sim.now):
             self.stats.expired_in_buffer += 1
             return

@@ -45,13 +45,26 @@ class LocationTableEntry:
 
 
 class LocationTable:
-    """addr -> LocTE with TTL expiry."""
+    """addr -> LocTE with TTL expiry.
 
-    def __init__(self, ttl: float):
+    Expired entries are already invisible to every liveness-aware query
+    (:meth:`get`, :meth:`live_entries`), but they used to stay in the dict
+    forever — on long runs a node's table grew with every vehicle that ever
+    drove past it.  :meth:`update` therefore opportunistically purges dead
+    entries once per ``purge_interval`` (default: one TTL), piggybacking on
+    the beacon path so the table stays bounded by the *recent* neighbor
+    population without a dedicated timer.
+    """
+
+    def __init__(self, ttl: float, *, purge_interval: Optional[float] = None):
         if ttl <= 0:
             raise ValueError("ttl must be positive")
         self.ttl = ttl
+        #: Seconds between opportunistic purges; dead entries survive at
+        #: most ``ttl + purge_interval`` after their last refresh.
+        self.purge_interval = ttl if purge_interval is None else purge_interval
         self._entries: Dict[int, LocationTableEntry] = {}
+        self._next_purge_at = self.purge_interval
 
     def update(
         self,
@@ -66,6 +79,7 @@ class LocationTable:
         ``neighbor=False`` records indirectly-learned positions (Location
         Service); it never downgrades an entry already known as a neighbor.
         """
+        self.maybe_purge(now)
         entry = self._entries.get(addr)
         if entry is None:
             entry = LocationTableEntry(
@@ -107,8 +121,24 @@ class LocationTable:
             del self._entries[addr]
         return len(dead)
 
+    def maybe_purge(self, now: float) -> int:
+        """Purge if ``purge_interval`` has elapsed since the last purge."""
+        if now < self._next_purge_at:
+            return 0
+        self._next_purge_at = now + self.purge_interval
+        return self.purge(now)
+
+    def contains(self, addr: int, now: float) -> bool:
+        """Whether a *live* entry exists for ``addr`` (liveness-aware)."""
+        entry = self._entries.get(addr)
+        return entry is not None and entry.is_live(now)
+
     def __len__(self) -> int:
+        """Physical entry count, expired included (storage footprint —
+        use :meth:`live_entries` to count usable neighbors)."""
         return len(self._entries)
 
     def __contains__(self, addr: int) -> bool:
+        """Physical presence, expired included.  Time-free by necessity —
+        use :meth:`contains` with ``now`` for a liveness check."""
         return addr in self._entries

@@ -186,7 +186,10 @@ class GeoRouter:
                     )
                 )
             else:
-                self.cbf.mark_done(packet_id)
+                self.cbf.mark_done(
+                    packet_id,
+                    expires_at=packet.body.created_at + packet.body.lifetime,
+                )
         else:
             self._gf_route(packet)
 

@@ -1,0 +1,265 @@
+"""Tests for the fault-tolerant campaign orchestrator.
+
+The pool workers are forked (Linux default start method), so patching
+``campaign.execute_spec`` in the parent before ``run_campaign`` spawns the
+pool substitutes the workers' behaviour too — that is how crashes, hangs
+and execution counters are injected without touching the orchestrator.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import campaign
+from repro.experiments.campaign import (
+    CampaignError,
+    MissingRunError,
+    assemble_target,
+    plan_campaign,
+    resolve_targets,
+    run_campaign,
+)
+from repro.experiments.figures import fig7
+from repro.experiments.metrics import BinnedRates
+from repro.experiments.runner import RunResult
+from repro.experiments.store import ResultStore
+
+KW = dict(runs=1, duration=6.0, seed=1)
+
+
+def fake_result(spec):
+    """A structurally-valid RunResult standing in for a real simulation."""
+    return RunResult(
+        seed=spec.seed,
+        attacked=spec.attacked,
+        binned=BinnedRates(
+            bin_width=spec.config.bin_width, rates=[0.75, 0.5]
+        ),
+        overall_rate=0.625,
+        n_packets=8,
+        outcomes=[],
+        extras={"frames_sent": 10.0},
+    )
+
+
+def recording_execute(log_path):
+    """An execute_spec substitute that appends every executed key to a file."""
+
+    def execute(spec):
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{spec.key.filename}:{spec.key.config_hash}\n")
+        if spec.kind == "text":
+            return f"text artefact for {spec.target}"
+        return fake_result(spec)
+
+    return execute
+
+
+def executed_keys(log_path):
+    if not os.path.exists(log_path):
+        return []
+    with open(log_path, encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def test_plan_expands_ab_target_to_seed_paired_specs():
+    specs = plan_campaign(["fig7a"], runs=2, duration=6.0, seed=1)
+    assert len(specs) == 12  # 3 settings x 2 seeds x (af, atk)
+    assert {s.seed for s in specs} == {1, 2}
+    assert sum(1 for s in specs if s.attacked) == 6
+
+
+def test_plan_text_target_is_single_spec():
+    specs = plan_campaign(["fig12a"], **KW)
+    assert len(specs) == 1
+    assert specs[0].kind == "text"
+
+
+def test_plan_dedups_overlapping_targets():
+    merged = plan_campaign(["fig7", "fig7a"], **KW)
+    alone = plan_campaign(["fig7"], **KW)
+    assert len(merged) == len(alone)
+
+
+def test_resolve_targets_expands_aliases_and_rejects_unknown():
+    assert resolve_targets(["fig7"])[:2] == ["fig7a", "fig7b"]
+    with pytest.raises(CampaignError):
+        resolve_targets(["fig99"])
+
+
+# ----------------------------------------------------------------------
+# resume: stored runs are not re-executed
+# ----------------------------------------------------------------------
+def test_resume_executes_only_missing_runs(tmp_path, monkeypatch):
+    log_path = str(tmp_path / "executed.log")
+    monkeypatch.setattr(campaign, "execute_spec", recording_execute(log_path))
+    store = ResultStore(tmp_path / "results")
+
+    specs = plan_campaign(["fig7a"], **KW)
+    prestored = specs[: len(specs) // 2]
+    for spec in prestored:
+        store.put_run(spec.key, fake_result(spec), config=spec.config)
+
+    report = run_campaign(
+        ["fig7a"], store=store, resume=True, processes=2, log_stream=None, **KW
+    )
+    assert report.skipped == len(prestored)
+    assert report.executed == len(specs) - len(prestored)
+    assert report.ok
+    executed = executed_keys(log_path)
+    assert len(executed) == len(specs) - len(prestored)
+    prestored_ids = {f"{s.key.filename}:{s.key.config_hash}" for s in prestored}
+    assert not prestored_ids & set(executed)
+
+    # Second resume: the store is complete, nothing runs at all.
+    os.unlink(log_path)
+    report2 = run_campaign(
+        ["fig7a"], store=store, resume=True, processes=2, log_stream=None, **KW
+    )
+    assert report2.executed == 0
+    assert report2.skipped == len(specs)
+    assert executed_keys(log_path) == []
+
+
+def test_without_resume_stored_runs_are_re_executed(tmp_path, monkeypatch):
+    log_path = str(tmp_path / "executed.log")
+    monkeypatch.setattr(campaign, "execute_spec", recording_execute(log_path))
+    store = ResultStore(tmp_path / "results")
+    specs = plan_campaign(["fig12a"], **KW)
+    for spec in specs:
+        store.put_text(spec.key, "stale")
+    report = run_campaign(
+        ["fig12a"], store=store, resume=False, log_stream=None, **KW
+    )
+    assert report.executed == len(specs)
+    assert store.get_text(specs[0].key) != "stale"
+
+
+# ----------------------------------------------------------------------
+# crash isolation / retry
+# ----------------------------------------------------------------------
+def crashing_execute(log_path, crash_key_filename):
+    """Counts executions; hard-kills the worker for one particular spec."""
+
+    def execute(spec):
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{spec.key.filename}:{spec.key.config_hash}\n")
+        if spec.key.filename == crash_key_filename and spec.attacked:
+            os._exit(13)  # simulated segfault: no result, no cleanup
+        if spec.kind == "text":
+            return "text"
+        return fake_result(spec)
+
+    return execute
+
+
+def test_crashing_worker_is_retried_then_recorded_failed(tmp_path, monkeypatch):
+    log_path = str(tmp_path / "executed.log")
+    store = ResultStore(tmp_path / "results")
+    specs = plan_campaign(["fig7a"], **KW)
+    crash_spec = next(s for s in specs if s.attacked)
+    monkeypatch.setattr(
+        campaign,
+        "execute_spec",
+        crashing_execute(log_path, crash_spec.key.filename),
+    )
+
+    report = run_campaign(
+        ["fig7a"],
+        store=store,
+        resume=True,
+        processes=2,
+        timeout=1.0,  # short watchdog so the dead worker costs little
+        retries=1,
+        log_stream=None,
+        **KW,
+    )
+    # The campaign survived the dead workers and completed everything else.
+    assert not report.ok
+    crashed = [s for s, _err in report.failed]
+    assert all(s.attacked for s in crashed)
+    healthy = [s for s in specs if s.key.filename != crash_spec.key.filename
+               or not s.attacked]
+    for spec in healthy:
+        assert store.has(spec.key), spec.describe()
+    # Every crashed spec was attempted retries+1 times, then recorded failed.
+    for spec in crashed:
+        assert store.get_failure(spec.key) is not None
+        assert not store.has(spec.key)
+    crash_ids = {f"{s.key.filename}:{s.key.config_hash}" for s in crashed}
+    executed = executed_keys(log_path)
+    for crash_id in crash_ids:
+        assert executed.count(crash_id) == 2  # initial attempt + 1 retry
+    # The figure cannot assemble while runs are missing...
+    assert "fig7a" in report.errors
+    with pytest.raises(MissingRunError):
+        assemble_target("fig7a", store, duration=6.0, runs=1, seed=1)
+
+
+def test_raising_worker_is_retried_in_process(tmp_path, monkeypatch):
+    """A Python-level exception is caught in the worker (no pool teardown)."""
+    attempts_path = str(tmp_path / "attempts.log")
+
+    def flaky_execute(spec):
+        with open(attempts_path, "a", encoding="utf-8") as handle:
+            handle.write("x")
+        # Fail the first attempt of everything, succeed afterwards.
+        if os.path.getsize(attempts_path) <= 1:
+            raise ValueError("transient failure")
+        if spec.kind == "text":
+            return "text"
+        return fake_result(spec)
+
+    monkeypatch.setattr(campaign, "execute_spec", flaky_execute)
+    store = ResultStore(tmp_path / "results")
+    report = run_campaign(
+        ["fig12a"], store=store, resume=True, retries=2, log_stream=None, **KW
+    )
+    assert report.ok
+    assert report.retried == 1
+    assert report.executed == 1
+
+
+def test_timed_out_run_is_recorded_failed(tmp_path, monkeypatch):
+    def sleepy_execute(spec):
+        import time
+
+        time.sleep(30.0)
+        return None  # pragma: no cover - killed by the alarm first
+
+    monkeypatch.setattr(campaign, "execute_spec", sleepy_execute)
+    store = ResultStore(tmp_path / "results")
+    report = run_campaign(
+        ["fig12a"],
+        store=store,
+        resume=True,
+        timeout=0.3,
+        retries=1,
+        log_stream=None,
+        **KW,
+    )
+    assert not report.ok
+    assert len(report.failed) == 1
+    spec, error = report.failed[0]
+    assert "RunTimeout" in error
+    assert store.get_failure(spec.key) is not None
+
+
+# ----------------------------------------------------------------------
+# store-backed assembly == fresh in-memory run
+# ----------------------------------------------------------------------
+def test_store_backed_output_identical_to_fresh_run(tmp_path):
+    store = ResultStore(tmp_path / "results")
+    report = run_campaign(
+        ["fig7a"], store=store, resume=True, processes=2, log_stream=None, **KW
+    )
+    assert report.ok
+    fresh = fig7.fig7a(runs=1, duration=6.0, processes=1, seed=1).format()
+    assert report.outputs["fig7a"] == fresh
+    # And assembling again later (fresh process, store only) matches too.
+    assert assemble_target(
+        "fig7a", store, runs=1, duration=6.0, seed=1
+    ) == fresh

@@ -1,0 +1,184 @@
+"""Tests for the persistent result store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import BinnedRates, PacketOutcome
+from repro.experiments.runner import RunResult
+from repro.experiments.store import (
+    ResultStore,
+    RunKey,
+    StoreError,
+    canonical_json,
+    config_hash,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+
+def sample_result(seed=7, attacked=True):
+    return RunResult(
+        seed=seed,
+        attacked=attacked,
+        binned=BinnedRates(bin_width=100.0, rates=[0.9125, None, 1 / 3]),
+        overall_rate=0.7239583,
+        n_packets=3,
+        outcomes=[
+            PacketOutcome(
+                packet_id=(12, 3),
+                send_time=1.5,
+                source_x=250.0,
+                direction=1,
+                success=True,
+                receivers=4,
+                denominator=5,
+                in_fully_covered_area=True,
+                delivery_latency=0.0123,
+            ),
+            PacketOutcome(
+                packet_id=(12, 4),
+                send_time=2.5,
+                source_x=260.0,
+                direction=-1,
+                success=False,
+                receivers=0,
+                denominator=5,
+                in_fully_covered_area=False,
+                delivery_latency=None,
+            ),
+        ],
+        extras={"frames_sent": 123.0, "wall_time_s": 0.25},
+    )
+
+
+def key(target="figX", seed=7, attacked=True):
+    return RunKey(target=target, config_hash="ab12", seed=seed, attacked=attacked)
+
+
+# ----------------------------------------------------------------------
+# serialisation
+# ----------------------------------------------------------------------
+def test_run_result_round_trip_is_exact():
+    original = sample_result()
+    rebuilt = run_result_from_dict(
+        json.loads(json.dumps(run_result_to_dict(original)))
+    )
+    assert rebuilt == original  # floats round-trip bit-exactly through JSON
+
+
+def test_config_hash_is_stable_and_content_addressed():
+    config = ExperimentConfig.inter_area_default(duration=10.0, seed=3)
+    same = ExperimentConfig.inter_area_default(duration=10.0, seed=3)
+    other = config.with_(duration=11.0)
+    assert config_hash(config) == config_hash(same)
+    assert config_hash(config) != config_hash(other)
+    assert len(config_hash(config)) == 16
+
+
+def test_config_hash_covers_nested_dataclasses():
+    config = ExperimentConfig.inter_area_default(duration=10.0, seed=3)
+    tweaked = config.with_(
+        road=dataclasses.replace(config.road, length=999.0)
+    )
+    assert config_hash(config) != config_hash(tweaked)
+
+
+def test_canonical_json_sorts_keys():
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_jsonable_rejects_unserialisable():
+    with pytest.raises(StoreError):
+        canonical_json(object())
+
+
+# ----------------------------------------------------------------------
+# store behaviour
+# ----------------------------------------------------------------------
+def test_put_get_run(tmp_path):
+    store = ResultStore(tmp_path)
+    result = sample_result()
+    store.put_run(key(), result)
+    assert store.get_run(key()) == result
+    assert store.has(key())
+
+
+def test_get_run_missing_is_none(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get_run(key()) is None
+    assert not store.has(key())
+
+
+def test_schema_mismatch_treated_as_absent(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    path = store.path_for(key())
+    record = json.loads(path.read_text())
+    record["schema"] = 999
+    path.write_text(json.dumps(record))
+    assert store.get_run(key()) is None
+    assert not store.has(key())
+
+
+def test_corrupt_record_treated_as_absent(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    store.path_for(key()).write_text("{truncated")
+    assert store.get_run(key()) is None
+
+
+def test_write_is_atomic_no_temp_left_behind(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    store.put_run(key(), sample_result(seed=7))  # overwrite in place
+    leftovers = [p for p in store.path_for(key()).parent.iterdir()
+                 if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_text_records(tmp_path):
+    store = ResultStore(tmp_path)
+    k = key(target="table1", attacked=False)
+    store.put_text(k, "rendered artefact", params={"seed": 1})
+    assert store.get_text(k) == "rendered artefact"
+    assert store.has(k)
+    assert store.get_run(k) is None  # wrong kind
+
+
+def test_failure_records_do_not_count_as_done(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_failure(key(), "worker crashed")
+    assert store.get_failure(key()) == "worker crashed"
+    assert not store.has(key())  # failures are retried on resume
+    assert store.get_run(key()) is None
+
+
+def test_success_overwrites_failure(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_failure(key(), "boom")
+    store.put_run(key(), sample_result())
+    assert store.has(key())
+    assert store.get_failure(key()) is None
+
+
+def test_iter_keys_and_count(tmp_path):
+    store = ResultStore(tmp_path)
+    keys = [
+        key(target="a", seed=1, attacked=False),
+        key(target="a", seed=1, attacked=True),
+        key(target="b", seed=2, attacked=False),
+    ]
+    for k in keys:
+        store.put_run(k, sample_result(seed=k.seed, attacked=k.attacked))
+    assert set(store.iter_keys()) == set(keys)
+    assert store.count() == 3
+
+
+def test_invalid_target_name_rejected():
+    with pytest.raises(StoreError):
+        RunKey(target="../escape", config_hash="ab", seed=1, attacked=False)
+    with pytest.raises(StoreError):
+        RunKey(target="", config_hash="ab", seed=1, attacked=False)

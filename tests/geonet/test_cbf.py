@@ -215,3 +215,59 @@ class TestRhlCheck:
         h.cbf.handle_broadcast(borderline)
         h.sim.run_until(0.5)
         assert h.broadcasts == []
+
+
+class TestDoneSetExpiry:
+    """The duplicate-detection memory is bounded by packet lifetime."""
+
+    @staticmethod
+    def sweep(h, now):
+        """Force an immediate sweep (tests bypass the rate-limit gate)."""
+        h.cbf._next_done_sweep = 0.0
+        h.cbf._sweep_done(now)
+
+    def test_done_entry_expires_after_lifetime_plus_grace(self):
+        h = Harness()
+        packet = make_packet(seq=1, created_at=0.0)  # lifetime 60 s
+        h.cbf.handle_broadcast(packet)
+        h.sim.run_until(1.0)  # forwarded; now in _done
+        assert h.cbf.has_processed(packet.packet_id)
+        self.sweep(h, 61.5)  # past lifetime + grace
+        assert not h.cbf.has_processed(packet.packet_id)
+
+    def test_done_entry_survives_until_lifetime_end(self):
+        h = Harness()
+        packet = make_packet(seq=1, created_at=0.0)
+        h.cbf.handle_broadcast(packet)
+        h.sim.run_until(1.0)
+        self.sweep(h, 59.0)  # still within lifetime: must be retained
+        assert h.cbf.has_processed(packet.packet_id)
+
+    def test_done_set_does_not_grow_without_bound(self):
+        h = Harness()
+        for seq in range(200):
+            created = float(seq)
+            h.sim.run_until(created + 0.5)
+            h.cbf.handle_broadcast(
+                make_packet(seq=seq, created_at=created, rhl=1)
+            )
+        # 200 packets were processed but the ones whose lifetime (60 s) has
+        # lapsed were swept during later receptions.
+        assert h.cbf.stats.first_receptions == 200
+        assert len(h.cbf._done) < 80
+
+    def test_mark_done_without_expiry_uses_default_lifetime(self):
+        h = Harness()
+        h.cbf.mark_done((9, 9))
+        assert h.cbf.has_processed((9, 9))
+        self.sweep(h, CONFIG.default_lifetime)  # still inside window
+        assert h.cbf.has_processed((9, 9))
+        self.sweep(h, CONFIG.default_lifetime + 2.0)
+        assert not h.cbf.has_processed((9, 9))
+
+    def test_mark_done_only_extends_never_shortens(self):
+        h = Harness()
+        h.cbf.mark_done((9, 9), expires_at=100.0)
+        h.cbf.mark_done((9, 9), expires_at=10.0)  # later, shorter: ignored
+        self.sweep(h, 50.0)
+        assert h.cbf.has_processed((9, 9))

@@ -112,3 +112,51 @@ def test_beacon_upgrades_indirect_entry():
     loct.update(1, pv(100), now=0.0, neighbor=False)
     entry = loct.update(1, pv(130), now=1.0, neighbor=True)
     assert entry.is_neighbor
+
+
+def test_contains_is_liveness_aware():
+    loct = LocationTable(ttl=10.0)
+    loct.update(1, pv(100), now=0.0)
+    assert loct.contains(1, now=5.0)
+    assert not loct.contains(1, now=10.01)  # expired
+    assert not loct.contains(2, now=5.0)  # never seen
+    # __contains__ stays physical (storage membership, time-free).
+    assert 1 in loct
+
+
+def test_update_opportunistically_purges_expired_entries():
+    loct = LocationTable(ttl=10.0)  # purge interval defaults to ttl
+    loct.update(1, pv(100), now=0.0)
+    loct.update(2, pv(200), now=25.0)  # past the purge point: 1 is dropped
+    assert 1 not in loct
+    assert 2 in loct
+
+
+def test_purge_is_rate_limited_between_intervals():
+    loct = LocationTable(ttl=10.0)
+    loct.update(1, pv(100), now=0.0)
+    loct.update(2, pv(200), now=12.0)  # purge fires (1 still live till 10... dead)
+    loct.update(3, pv(300), now=13.0)  # within the interval: no purge yet
+    # Entry 2 expires at 22; a dead entry added right before the next purge
+    # point survives only until that purge.
+    loct.update(4, pv(400), now=23.0)
+    assert 2 not in loct
+    assert {3, 4} <= set(loct._entries)
+
+
+def test_table_stays_bounded_under_churn():
+    """A long-lived node that hears a stream of one-off neighbors must not
+    accumulate one entry per address forever."""
+    loct = LocationTable(ttl=10.0)
+    for addr in range(1000):
+        loct.update(addr, pv(addr), now=float(addr))
+    # Physical size is bounded by the addresses heard within one
+    # ttl + purge_interval window, not by the 1000 ever heard.
+    assert len(loct) <= 21
+
+
+def test_custom_purge_interval():
+    loct = LocationTable(ttl=10.0, purge_interval=2.0)
+    loct.update(1, pv(100), now=0.0)
+    loct.update(2, pv(200), now=12.5)
+    assert 1 not in loct
