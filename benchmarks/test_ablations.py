@@ -7,7 +7,6 @@ to the modelling knobs the paper leaves implicit.
 import dataclasses
 
 from repro.experiments import ExperimentConfig, run_ab
-from repro.experiments.figures import fig9
 
 
 def _kw(bench_scale):

@@ -1,6 +1,5 @@
 """Baseline and robustness benchmarks beyond the paper's figures."""
 
-import dataclasses
 
 from repro.experiments import ExperimentConfig, run_ab
 

@@ -9,7 +9,6 @@ of tuning study EN 302 636-4-1 leaves to deployments.
 Usage: python examples/custom_protocol_tuning.py
 """
 
-import dataclasses
 
 from repro.geo import Position, RectangularArea
 from repro.geonet import GeoNetConfig, GeoNode, StaticMobility

@@ -14,7 +14,7 @@ import collections
 import sys
 
 from repro.core.detection import MisbehaviorDetector
-from repro.experiments import AttackKind, ExperimentConfig
+from repro.experiments import ExperimentConfig
 from repro.experiments.world import World
 
 

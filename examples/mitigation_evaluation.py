@@ -11,7 +11,6 @@ standard-compatible defences:
 Usage: python examples/mitigation_evaluation.py [duration] [runs]
 """
 
-import dataclasses
 import sys
 
 from repro.experiments import ExperimentConfig, run_ab

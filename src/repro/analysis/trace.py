@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.radio.channel import BroadcastChannel
 from repro.radio.frames import FrameKind
@@ -31,14 +31,22 @@ class TraceRecord:
     x: float
     y: float
     tx_range: float
+    #: The payload's application packet id, when it has one (GBC/GUC/LS
+    #: packets); lets traces join against the packet-lifecycle ledger.
+    packet_id: Optional[Tuple] = None
 
     def line(self) -> str:
         dest = "*" if self.dest_addr is None else str(self.dest_addr)
+        pid = (
+            ""
+            if self.packet_id is None
+            else "  id=" + "/".join(str(p) for p in self.packet_id)
+        )
         return (
             f"{self.time:10.4f}s  {self.kind.value:<7} "
             f"{self.sender_addr:>6} -> {dest:<6} "
             f"@({self.x:7.1f},{self.y:5.1f})  r={self.tx_range:6.1f}  "
-            f"{self.payload_type}"
+            f"{self.payload_type}{pid}"
         )
 
 
@@ -72,6 +80,7 @@ class ChannelTracer:
                     x=frame.tx_position.x,
                     y=frame.tx_position.y,
                     tx_range=frame.tx_range,
+                    packet_id=getattr(payload, "packet_id", None),
                 )
             )
         else:
@@ -88,6 +97,7 @@ class ChannelTracer:
         sender_addr: Optional[int] = None,
         since: float = 0.0,
         payload_type: Optional[str] = None,
+        packet_id: Optional[Tuple] = None,
     ) -> Iterator[TraceRecord]:
         """Iterate matching records."""
         for record in self.records:
@@ -98,6 +108,8 @@ class ChannelTracer:
             if record.time < since:
                 continue
             if payload_type is not None and record.payload_type != payload_type:
+                continue
+            if packet_id is not None and record.packet_id != packet_id:
                 continue
             yield record
 
@@ -114,6 +126,27 @@ class ChannelTracer:
                 lines.append(f"... ({len(self.records)} records total)")
                 break
         return "\n".join(lines) if lines else "(no matching records)"
+
+    def journey(self, ledger, kind: str, packet_id: Tuple) -> str:
+        """One packet's life, merged chronologically from two vantage
+        points: the ledger's per-node journey events (originations,
+        forwarding decisions, drops) and this tracer's on-air
+        transmissions.  ``ledger`` is a
+        :class:`~repro.observability.PacketLedger` built with
+        ``journeys=True``; ``kind`` is its namespace (``"gbc"``/``"guc"``).
+        """
+        entries = [
+            (event.time, 1, f"[node ] {event.line()}")
+            for event in ledger.journey(kind, packet_id)
+        ]
+        entries.extend(
+            (record.time, 0, f"[radio] {record.line()}")
+            for record in self.filter(packet_id=packet_id)
+        )
+        if not entries:
+            return "(no journey recorded for this packet)"
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return "\n".join(text for _, _, text in entries)
 
     # ------------------------------------------------------------------
     def detach(self) -> None:

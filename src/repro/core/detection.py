@@ -22,7 +22,7 @@ detections to neighbors; here the alerts are local and feed callbacks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Set, Tuple
 
 from repro.geonet.checks import duplicate_rhl_plausible, position_plausible

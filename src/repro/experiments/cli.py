@@ -7,6 +7,7 @@ Examples::
     repro-experiments fig7a --save --results-dir results --processes 8
     repro-experiments campaign all --resume --processes 8 --timeout 900
     repro-experiments campaign fig7 fig9 fig14a --resume
+    repro-experiments explain inter-area --runs 2 --duration 100
 
 ``campaign`` is the fault-tolerant way to regenerate many artefacts: every
 individual simulation run lands in the persistent result store as it
@@ -14,6 +15,10 @@ finishes, so an interrupted campaign re-issued with ``--resume`` executes
 only the missing runs (this replaces the old ``run_remaining*.sh``
 restart scripts, which re-ran everything).  ``--save`` on a single target
 routes it through the same store.
+
+``explain`` runs seed-paired A/B simulations with the packet-lifecycle
+ledger enabled and reports where every application packet died — the
+terminal-outcome breakdown behind the figures' aggregate drop rates.
 """
 
 from __future__ import annotations
@@ -25,7 +30,6 @@ from typing import List, Optional
 
 from repro.experiments.campaign import (
     CampaignError,
-    MissingRunError,
     TARGET_ALIASES,
     run_campaign,
 )
@@ -201,6 +205,56 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _build_explain_parser() -> argparse.ArgumentParser:
+    from repro.experiments.explain import EXPLAIN_TARGETS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments explain",
+        description="Account every application packet's terminal outcome "
+        "in seed-paired A/B runs (packet-lifecycle ledger).",
+    )
+    parser.add_argument(
+        "target",
+        choices=list(EXPLAIN_TARGETS),
+        help="which attack scenario to explain",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=1, help="A/B seed pairs to simulate"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=200.0, help="simulated seconds per run"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base random seed")
+    parser.add_argument(
+        "--journeys",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally print per-hop journeys of up to N undelivered "
+        "attacked packets (records journey events; default: off)",
+    )
+    return parser
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from repro.experiments.explain import explain
+
+    started = time.time()
+    result = explain(
+        args.target,
+        runs=args.runs,
+        duration=args.duration,
+        seed=args.seed,
+        journeys=args.journeys,
+    )
+    _emit(result.format(journeys=args.journeys))
+    print(
+        f"[explain {args.target} done in {time.time() - started:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _build_campaign_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments campaign",
@@ -245,7 +299,7 @@ def _build_target_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=ALL_TARGETS + ["all", "fig7", "fig9", "campaign"],
+        choices=ALL_TARGETS + ["all", "fig7", "fig9", "campaign", "explain"],
         help="which artefact to regenerate ('all' runs every one)",
     )
     _add_common_args(parser)
@@ -263,9 +317,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "campaign":
         args = _build_campaign_parser().parse_args(argv[1:])
         return _run_saved(args.targets, args)
+    if argv and argv[0] == "explain":
+        return _run_explain(_build_explain_parser().parse_args(argv[1:]))
     args = _build_target_parser().parse_args(argv)
     if args.target == "campaign":
         raise SystemExit("usage: repro-experiments campaign <targets...>")
+    if args.target == "explain":
+        raise SystemExit(
+            "usage: repro-experiments explain <inter-area|intra-area>"
+        )
     if args.save:
         # Single-target save behaves like a one-target resuming campaign.
         args.resume = True

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.experiments.config import AttackKind, ExperimentConfig
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures.fig7 import AbRunner
 from repro.experiments.runner import AbResult, run_ab
 from repro.radio.technology import DSRC, RangeClass

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures.fig7 import AbRunner
 from repro.experiments.reporting import FigureResult
-from repro.experiments.runner import AbResult, run_ab
+from repro.experiments.runner import run_ab
 from repro.radio.technology import CV2X, DSRC, RadioTechnology, RangeClass
 
 RANGE_LABELS = (

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.geonet.wire import ENCRYPTION_OVERHEAD, beacon_size, gbc_size
+from repro.geonet.wire import ENCRYPTION_OVERHEAD, beacon_size
 from repro.radio.channel import ChannelStats
 from repro.radio.frames import FrameKind
 

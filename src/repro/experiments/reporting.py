@@ -3,15 +3,81 @@ performance snapshots (events/sec, transmits/sec, receivers-per-frame)."""
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import AbResult, RunResult
+from repro.observability.ledger import OUTCOMES, reasons
 
 
 def fmt_pct(value: Optional[float]) -> str:
     """Format a ratio as a percentage, n/a-safe."""
     return f"{value:6.1%}" if value is not None else "   n/a"
+
+
+def _breakdown_totals(runs: Sequence[RunResult]) -> Counter:
+    totals: Counter = Counter()
+    for run in runs:
+        if run.drop_breakdown:
+            totals.update(run.drop_breakdown)
+    return totals
+
+
+def drop_breakdown_table(
+    af_runs: Sequence[RunResult],
+    atk_runs: Sequence[RunResult],
+    *,
+    title: str = "packet drop breakdown",
+) -> str:
+    """Side-by-side terminal-outcome accounting of seed-paired A/B runs.
+
+    Every originated application packet appears in exactly one row (the
+    ledger's conservation invariant), so the columns each sum to the number
+    of packets originated — the table answers *where* the attack's lost
+    packets actually died, not just how many.
+    """
+    af = _breakdown_totals(af_runs)
+    atk = _breakdown_totals(atk_runs)
+    if not af and not atk:
+        return f"{title}: no ledger data (runs executed without a ledger)"
+    lines = [
+        f"{title}",
+        f"  {'outcome':<24} {'attack-free':>12} {'attacked':>12} {'delta':>8}",
+    ]
+    shown = [r for r in OUTCOMES if af.get(r, 0) or atk.get(r, 0)]
+    for reason in shown:
+        a, b = af.get(reason, 0), atk.get(reason, 0)
+        lines.append(f"  {reason:<24} {a:>12} {b:>12} {b - a:>+8}")
+    lines.append(
+        f"  {'total originated':<24} "
+        f"{sum(af.values()):>12} {sum(atk.values()):>12} "
+        f"{sum(atk.values()) - sum(af.values()):>+8}"
+    )
+    return "\n".join(lines)
+
+
+def dominant_loss(
+    af_runs: Sequence[RunResult], atk_runs: Sequence[RunResult]
+) -> Optional[tuple]:
+    """``(reason, excess, share)`` of the drop reason that grew the most
+    under attack — the attribution the ``explain`` CLI reports.  ``share``
+    is that reason's fraction of the total attack-induced drop growth; None
+    when the attack added no drops (or no ledger ran)."""
+    af = _breakdown_totals(af_runs)
+    atk = _breakdown_totals(atk_runs)
+    excess: Dict[str, int] = {}
+    for reason in OUTCOMES:
+        if reason == reasons.DELIVERED:
+            continue
+        delta = atk.get(reason, 0) - af.get(reason, 0)
+        if delta > 0:
+            excess[reason] = delta
+    total = sum(excess.values())
+    if total == 0:
+        return None
+    reason = max(excess, key=lambda r: excess[r])
+    return reason, excess[reason], excess[reason] / total
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from repro.experiments.metrics import (
     mean_drop_rate,
 )
 from repro.experiments.world import World
+from repro.observability.ledger import PacketLedger
 
 
 @dataclass
@@ -34,13 +35,27 @@ class RunResult:
     n_packets: int
     outcomes: List[PacketOutcome]
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Terminal-outcome counts from the packet-lifecycle ledger, keyed by
+    #: :data:`repro.observability.OUTCOMES` reason strings.  ``None`` when
+    #: the run executed without a ledger (the default).
+    drop_breakdown: Optional[Dict[str, int]] = None
 
 
 def run_single(
-    config: ExperimentConfig, *, attacked: bool, seed: Optional[int] = None
+    config: ExperimentConfig,
+    *,
+    attacked: bool,
+    seed: Optional[int] = None,
+    ledger: Optional[PacketLedger] = None,
 ) -> RunResult:
-    """Build a world, run it, and summarise."""
-    world = World(config, attacked=attacked, seed=seed)
+    """Build a world, run it, and summarise.
+
+    Pass a fresh :class:`PacketLedger` to additionally account every
+    application packet's terminal outcome (``drop_breakdown`` and
+    ``ledger_*`` extras).  The ledger is passive: the simulation itself is
+    bit-identical with and without it.
+    """
+    world = World(config, attacked=attacked, seed=seed, ledger=ledger)
     metrics = world.run()
     stats = world.channel.stats
     extras: Dict[str, float] = {
@@ -58,6 +73,13 @@ def run_single(
     if world.attacker is not None:
         extras["replays_sent"] = float(world.attacker.stats.replays_sent)
         extras["frames_sniffed"] = float(world.attacker.stats.frames_sniffed)
+    for name, value in sorted(world.protocol_stat_totals().items()):
+        extras[f"stats_{name}"] = float(value)
+    drop_breakdown: Optional[Dict[str, int]] = None
+    if ledger is not None:
+        drop_breakdown = ledger.outcome_totals()
+        for reason, count in drop_breakdown.items():
+            extras[f"ledger_{reason}"] = float(count)
     return RunResult(
         seed=world.seed,
         attacked=attacked,
@@ -66,6 +88,7 @@ def run_single(
         n_packets=len(metrics.outcomes),
         outcomes=list(metrics.outcomes),
         extras=extras,
+        drop_breakdown=drop_breakdown,
     )
 
 

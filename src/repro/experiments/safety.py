@@ -35,7 +35,7 @@ from repro.security.ca import CertificateAuthority
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.traffic.idm import IdmParameters
-from repro.traffic.road import Direction, RoadSegment
+from repro.traffic.road import RoadSegment
 from repro.traffic.simulation import TrafficSimulation
 from repro.traffic.vehicle import Vehicle
 

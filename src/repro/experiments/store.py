@@ -145,6 +145,13 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
             for o in result.outcomes
         ],
         "extras": dict(result.extras),
+        # Packet-lifecycle outcome counts; null for runs without a ledger.
+        # Additive and optional, so schema version 1 records round-trip.
+        "drop_breakdown": (
+            None
+            if result.drop_breakdown is None
+            else {str(k): int(v) for k, v in result.drop_breakdown.items()}
+        ),
     }
 
 
@@ -174,6 +181,13 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
             for o in data["outcomes"]
         ],
         extras={str(k): float(v) for k, v in data["extras"].items()},
+        drop_breakdown=(
+            None
+            if data.get("drop_breakdown") is None
+            else {
+                str(k): int(v) for k, v in data["drop_breakdown"].items()
+            }
+        ),
     )
 
 

@@ -12,7 +12,8 @@ same traffic and the same generated packets as its attack-free twin.
 
 from __future__ import annotations
 
-import math
+import dataclasses
+from collections import Counter
 from typing import Callable, Dict, List, Optional
 
 from repro.core.attacks import InterAreaInterceptor, IntraAreaBlocker, RoadsideAttacker
@@ -21,8 +22,9 @@ from repro.experiments.config import AttackKind, ExperimentConfig, WorkloadKind
 from repro.experiments.metrics import PacketOutcome, RunMetrics
 from repro.geo.areas import CircularArea, DestinationArea, RectangularArea
 from repro.geo.position import Position
-from repro.geonet.node import GeoNode, StaticMobility, VehicleMobility
+from repro.geonet.node import GeoNode, StaticMobility, VehicleMobility, ledger_kind
 from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.observability.ledger import PacketLedger, reasons
 from repro.radio.channel import BroadcastChannel
 from repro.security.ca import CertificateAuthority
 from repro.sim.engine import Simulator
@@ -45,10 +47,15 @@ class World:
         attacked: bool,
         seed: Optional[int] = None,
         build_workload: Optional[Callable[["World"], None]] = None,
+        ledger: Optional[PacketLedger] = None,
     ):
         self.config = config
         self.attacked = attacked
         self.seed = config.seed if seed is None else seed
+        #: Optional packet-lifecycle ledger, shared by every node of this
+        #: world.  Strictly passive: runs are bit-identical with and
+        #: without it (golden-tested).
+        self.ledger = ledger
         self.sim = Simulator()
         self.streams = RandomStreams(self.seed)
         self.ca = CertificateAuthority()
@@ -58,6 +65,8 @@ class World:
             loss_rate=config.channel_loss_rate,
             use_spatial_index=config.channel_use_spatial_index,
         )
+        if ledger is not None:
+            self.channel.on_unicast_lost.append(self._on_unicast_lost)
 
         # --- road traffic ------------------------------------------------
         road_cfg = config.road
@@ -92,6 +101,9 @@ class World:
         # --- nodes --------------------------------------------------------
         self.nodes: Dict[int, GeoNode] = {}  # vehicle_id -> node
         self.node_by_addr: Dict[int, GeoNode] = {}
+        #: Protocol counters of nodes already torn down (exited vehicles) —
+        #: without this, per-node GF/CBF/GUC stats vanish with the node.
+        self._detached_stats: Counter = Counter()
         self._veh_seq = 0
         self.traffic.on_spawn.append(self._attach_node)
         self.traffic.on_exit.append(self._detach_node)
@@ -155,6 +167,7 @@ class World:
             tx_range=self.config.vehicle_range,
             rng=self.streams.get(f"beacon:{seq}"),
             name=f"veh-{seq}",
+            ledger=self.ledger,
         )
         node.router.on_deliver.append(self._on_deliver)
         self.nodes[vehicle.vehicle_id] = node
@@ -164,6 +177,7 @@ class World:
         node = self.nodes.pop(vehicle.vehicle_id, None)
         if node is not None:
             self.node_by_addr.pop(node.address, None)
+            self._detached_stats.update(node_stat_counters(node))
             node.shutdown()
 
     def _build_destinations(self) -> None:
@@ -184,6 +198,7 @@ class World:
                 tx_range=self.config.vehicle_range,
                 rng=self.streams.get(f"beacon:dest-{label}"),
                 name=f"dest-{label}",
+                ledger=self.ledger,
             )
             node.router.on_deliver.append(self._on_deliver)
             self.dest_nodes.append(node)
@@ -310,6 +325,37 @@ class World:
                 outcome.success = outcome.receivers / outcome.denominator
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _on_unicast_lost(self, frame, why: str) -> None:
+        """Channel hook: a unicast frame missed its addressee.
+
+        This is the paper's silent interception loss — the frame went on
+        the air, nobody (reachable) was listening.  Only application
+        packets are tracked; beacons and LS floods resolve to ``None``.
+        """
+        kind = ledger_kind(frame.payload)
+        if kind is None or self.ledger is None:
+            return
+        self.ledger.dropped(
+            kind,
+            frame.payload.packet_id,
+            self.sim.now,
+            frame.sender_addr,
+            reasons.UNREACHABLE_NEXT_HOP,
+            detail=f"{why}:dest={frame.dest_addr}",
+        )
+
+    def protocol_stat_totals(self) -> Counter:
+        """Per-node protocol counters summed over *every* node of the run:
+        live vehicles, static destinations, and vehicles already torn down
+        (whose stats are accumulated at detach time)."""
+        totals = Counter(self._detached_stats)
+        for node in list(self.nodes.values()) + list(self.dest_nodes):
+            totals.update(node_stat_counters(node))
+        return totals
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, duration: Optional[float] = None) -> RunMetrics:
@@ -336,3 +382,23 @@ class World:
             for iface in self.channel.neighbors_within(position, radius)
             if (node := self.node_by_addr.get(iface.address)) is not None
         ]
+
+
+#: Stats dataclasses aggregated per node, with the prefix their counters
+#: carry in :meth:`World.protocol_stat_totals` / ``RunResult.extras``.
+_STAT_SOURCES = (
+    ("router", lambda node: node.router.stats),
+    ("gf", lambda node: node.router.gf.stats),
+    ("cbf", lambda node: node.router.cbf.stats),
+    ("guc", lambda node: node.router.unicast.stats),
+)
+
+
+def node_stat_counters(node: GeoNode) -> Counter:
+    """One node's protocol counters, flattened to ``prefix_field`` keys."""
+    counters: Counter = Counter()
+    for prefix, getter in _STAT_SOURCES:
+        stats = getter(node)
+        for f in dataclasses.fields(stats):
+            counters[f"{prefix}_{f.name}"] += getattr(stats, f.name)
+    return counters

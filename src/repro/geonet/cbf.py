@@ -28,6 +28,7 @@ from repro.geo.position import Position
 from repro.geonet.checks import duplicate_rhl_plausible
 from repro.geonet.config import GeoNetConfig
 from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.observability.ledger import reasons
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle
 
@@ -100,6 +101,8 @@ class CbfForwarder:
         broadcast: Callable[[GeoBroadcastPacket, int], None],
         rng=None,
         medium_busy: Optional[Callable[[], bool]] = None,
+        ledger=None,
+        get_addr: Optional[Callable[[], int]] = None,
     ):
         self._sim = sim
         self.config = config
@@ -107,6 +110,9 @@ class CbfForwarder:
         self._deliver = deliver
         self._broadcast = broadcast
         self._rng = rng
+        #: Optional PacketLedger plus the owner's (current) address for it.
+        self._ledger = ledger
+        self._get_addr = get_addr
         #: Carrier-sense hook: when set and True at timer expiry, the
         #: re-broadcast defers briefly (CSMA) — the deferring contender then
         #: hears the in-flight duplicate and cancels like real radios do.
@@ -195,17 +201,20 @@ class CbfForwarder:
         del self._buffers[buffered.packet.packet_id]
         self._remember_done(buffered.packet)
         self.stats.suppressed_by_duplicate += 1
+        self._ledger_drop(buffered.packet, reasons.CBF_SUPPRESSED)
 
     def _first_reception(self, packet: GeoBroadcastPacket, now: float) -> None:
         self.stats.first_receptions += 1
         self._deliver(packet)
         if packet.expired(now):
             self._remember_done(packet)
+            self._ledger_drop(packet, reasons.LIFETIME_EXPIRED)
             return
         forward_rhl = packet.rhl - 1
         if forward_rhl <= 0:
             self.stats.rhl_exhausted += 1
             self._remember_done(packet)
+            self._ledger_drop(packet, reasons.RHL_EXHAUSTED)
             return
         distance = self._get_position().distance_to(packet.sender_position)
         timeout = contention_timeout(distance, self.config)
@@ -231,6 +240,7 @@ class CbfForwarder:
         The node counts as having received its own packet.
         """
         self._remember_done(packet)
+        self._ledger_hop(packet, "cbf-originate")
         self._broadcast(packet, packet.rhl)
         self.stats.rebroadcasts += 1
 
@@ -258,9 +268,34 @@ class CbfForwarder:
         self._remember_done(buffered.packet)
         if buffered.packet.expired(self._sim.now):
             self.stats.expired_in_buffer += 1
+            self._ledger_drop(buffered.packet, reasons.EXPIRED_IN_BUFFER)
             return
+        self._ledger_hop(buffered.packet, "cbf-rebroadcast")
         self._broadcast(buffered.packet, buffered.forward_rhl)
         self.stats.rebroadcasts += 1
+
+    # ------------------------------------------------------------------
+    # ledger hooks (no-ops without a ledger)
+    # ------------------------------------------------------------------
+    def _ledger_drop(self, packet: GeoBroadcastPacket, reason: str) -> None:
+        if self._ledger is not None:
+            self._ledger.dropped(
+                "gbc",
+                packet.packet_id,
+                self._sim.now,
+                self._get_addr() if self._get_addr is not None else -1,
+                reason,
+            )
+
+    def _ledger_hop(self, packet: GeoBroadcastPacket, action: str) -> None:
+        if self._ledger is not None:
+            self._ledger.hop(
+                "gbc",
+                packet.packet_id,
+                self._sim.now,
+                self._get_addr() if self._get_addr is not None else -1,
+                action,
+            )
 
     # ------------------------------------------------------------------
     # teardown

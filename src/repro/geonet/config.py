@@ -34,8 +34,9 @@ class GeoNetConfig:
     #: given its authentic PV"), and it reproduces the paper's baselines;
     #: extrapolation makes replayed-beacon poison track the traffic and
     #: overshoots the measured interception rates (see the ablation bench).
-    #: The plausibility-check mitigation always uses the advertised
-    #: position, as §V-A specifies.
+    #: The plausibility-check mitigation evaluates the same position GF
+    #: ranks by — advertised by default, extrapolated when this is on — so
+    #: the §V-A filter always judges what the forwarder actually acts on.
     loct_extrapolation: bool = False
 
     # --- greedy forwarding ----------------------------------------------

@@ -8,14 +8,17 @@ stored PV and uses **no acknowledgement** — both vulnerabilities the paper
 exploits.
 
 The paper's §V mitigation is implemented here as an optional forwarding-time
-plausibility filter: candidates whose advertised position is further from
-the forwarder than a threshold (default: the technology's NLoS-median range)
-are skipped and the next-best candidate is considered.
+plausibility filter: candidates whose position is further from the forwarder
+than a threshold (default: the technology's NLoS-median range) are skipped
+and the next-best candidate is considered.  The filter evaluates the *same*
+position the ranking acted on — the advertised PV position by default, the
+extrapolated one when ``loct_extrapolation`` is enabled — so the mitigation
+always judges exactly what GF is about to trust.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Set
 
 from repro.geo.areas import DestinationArea
@@ -72,13 +75,15 @@ class GreedyForwarder:
         ranked = self._ranked_candidates(center, now, excluded)
         considered = 0
         rejected_plausibility = 0
-        for candidate_distance, entry in ranked:
+        for candidate_distance, candidate_position, entry in ranked:
             if candidate_distance >= own_distance:
                 # Candidates are sorted; once progress stops, none remain.
                 break
             considered += 1
+            # The check judges the position GF ranked by (extrapolated when
+            # loct_extrapolation is on), never a different one.
             if self.config.plausibility_check and not position_plausible(
-                own_position, entry.position, self.config.plausibility_threshold
+                own_position, candidate_position, self.config.plausibility_threshold
             ):
                 rejected_plausibility += 1
                 continue
@@ -100,7 +105,12 @@ class GreedyForwarder:
 
     def _ranked_candidates(
         self, center: Position, now: float, excluded: Set[int]
-    ) -> Iterable[tuple[float, LocationTableEntry]]:
+    ) -> Iterable[tuple[float, Position, LocationTableEntry]]:
+        """``(distance, position, entry)`` sorted by distance to ``center``.
+
+        The position each entry was ranked by is returned alongside it so
+        the plausibility filter can evaluate the very same coordinates.
+        """
         extrapolate = self.config.loct_extrapolation
         candidates = []
         for entry in self.loct.live_entries(now):
@@ -115,6 +125,6 @@ class GreedyForwarder:
             position = (
                 entry.pv.extrapolate(now) if extrapolate else entry.position
             )
-            candidates.append((position.distance_to(center), entry))
-        candidates.sort(key=lambda pair: pair[0])
+            candidates.append((position.distance_to(center), position, entry))
+        candidates.sort(key=lambda item: item[0])
         return candidates

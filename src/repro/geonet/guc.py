@@ -32,6 +32,7 @@ from repro.geonet.unicast import (
     LsRequestPacket,
     UnicastId,
 )
+from repro.observability.ledger import reasons
 from repro.radio.frames import FrameKind
 from repro.security.signing import sign, verify
 from repro.sim.events import EventHandle
@@ -44,6 +45,18 @@ LS_RETRANSMIT_INTERVAL = 1.0
 LS_MAX_ATTEMPTS = 4
 #: Jitter before re-flooding an LS request (the channel has no CSMA).
 LS_FORWARD_JITTER = 0.005
+
+#: Slack added before duplicate-filter / delivery-dedup entries may be
+#: swept (mirrors ``CbfForwarder``'s ``_DONE_GRACE``): copies still in
+#: flight arrive within milliseconds, so a generous second can never
+#: un-suppress a copy that could actually recur.
+_SEEN_GRACE = 1.0
+#: An LS request id recurs only while its source still retransmits it
+#: (same sequence number for every attempt), so an entry is dead this long
+#: after its last sighting.
+_LS_SEEN_TTL = LS_MAX_ATTEMPTS * LS_RETRANSMIT_INTERVAL + _SEEN_GRACE
+#: How often the seen/delivered maps are opportunistically swept.
+_SWEEP_INTERVAL = 5.0
 
 
 @dataclass
@@ -81,11 +94,30 @@ class UnicastService:
         self.config = router.config
         self._seq = itertools.count(1)
         self._pending: Dict[int, _PendingResolution] = {}
-        self._ls_seen: Set[UnicastId] = set()
-        self._delivered: Set[tuple] = set()
+        #: LS duplicate filter: request id -> time after which the entry may
+        #: be swept (the source stops retransmitting the id by then).
+        self._ls_seen: Dict[UnicastId, float] = {}
+        #: Delivery dedup: packet id -> sweep time keyed on the packet's own
+        #: lifetime (plus grace) — bounded by the packets currently alive,
+        #: exactly like ``CbfForwarder._done``.
+        self._delivered: Dict[tuple, float] = {}
+        self._next_sweep = _SWEEP_INTERVAL
         self._rechecks: Set[EventHandle] = set()
         self.on_deliver: List[Callable] = []
         self.stats = UnicastStats()
+
+    # ------------------------------------------------------------------
+    # bounded-state sweeping
+    # ------------------------------------------------------------------
+    def _sweep(self, now: float) -> None:
+        """Drop seen/delivered entries whose packets cannot recur."""
+        if now < self._next_sweep:
+            return
+        self._next_sweep = now + _SWEEP_INTERVAL
+        for table in (self._ls_seen, self._delivered):
+            dead = [key for key, drop_after in table.items() if now > drop_after]
+            for key in dead:
+                del table[key]
 
     # ------------------------------------------------------------------
     # origination
@@ -110,6 +142,9 @@ class UnicastService:
             created_at=now,
         )
         self.stats.guc_originated += 1
+        ledger = self.router.ledger
+        if ledger is not None:
+            ledger.originated("guc", body.packet_id, now, self.node.address)
         entry = self.router.loct.get(dest_addr, now)
         if entry is not None:
             self._route(self._packet_for(body, entry.position, rhl))
@@ -155,7 +190,7 @@ class UnicastService:
             rhl=self.config.default_rhl,
             sender_addr=self.node.address,
         )
-        self._ls_seen.add(packet.request_id)
+        self._ls_seen[packet.request_id] = self.node.sim.now + _LS_SEEN_TTL
         self.stats.ls_requests_sent += 1
         self.node.iface.send(FrameKind.GEO_BROADCAST, packet)
         pending.timer = self.node.sim.schedule(
@@ -170,6 +205,18 @@ class UnicastService:
             del self._pending[target_addr]
             self.stats.ls_failures += 1
             self.stats.guc_drops += len(pending.buffered)
+            ledger = self.router.ledger
+            if ledger is not None:
+                now = self.node.sim.now
+                for body in pending.buffered:
+                    ledger.dropped(
+                        "guc",
+                        body.packet_id,
+                        now,
+                        self.node.address,
+                        reasons.LS_FAILURE,
+                        detail=f"target={target_addr}",
+                    )
             return
         # A beacon may have resolved the target in the meantime.
         entry = self.router.loct.get(target_addr, self.node.sim.now)
@@ -185,8 +232,22 @@ class UnicastService:
         if pending.timer is not None:
             pending.timer.cancel()
         self.stats.ls_resolutions += 1
+        now = self.node.sim.now
         for body in pending.buffered:
-            if not body.expired(self.node.sim.now):
+            if body.expired(now):
+                # Resolution arrived after the buffered packet's lifetime.
+                self.stats.guc_drops += 1
+                ledger = self.router.ledger
+                if ledger is not None:
+                    ledger.dropped(
+                        "guc",
+                        body.packet_id,
+                        now,
+                        self.node.address,
+                        reasons.LIFETIME_EXPIRED,
+                        detail="expired-awaiting-ls",
+                    )
+            else:
                 self._route(self._packet_for(body, dest_position, None))
 
     def handle_ls_request(self, packet: LsRequestPacket) -> None:
@@ -194,10 +255,15 @@ class UnicastService:
         if not verify(packet.signed):
             self.stats.rejected_auth += 1
             return
+        now = self.node.sim.now
+        self._sweep(now)
         request_id = packet.request_id
         if request_id in self._ls_seen:
+            # Refresh: the source retransmits the same id for up to
+            # LS_MAX_ATTEMPTS intervals, so keep the filter entry alive.
+            self._ls_seen[request_id] = now + _LS_SEEN_TTL
             return
-        self._ls_seen.add(request_id)
+        self._ls_seen[request_id] = now + _LS_SEEN_TTL
         body = packet.body
         if body.target_addr == self.node.address:
             self._send_ls_reply(body)
@@ -247,32 +313,47 @@ class UnicastService:
             self._route(packet)
 
     def _deliver(self, packet) -> None:
+        now = self.node.sim.now
+        self._sweep(now)
         if packet.packet_id in self._delivered:
             return
-        self._delivered.add(packet.packet_id)
+        body = packet.body
+        self._delivered[packet.packet_id] = (
+            body.created_at + body.lifetime + _SEEN_GRACE
+        )
         if isinstance(packet, LsReplyPacket):
-            body = packet.body
             # LS-learned positions are not one-hop neighbors: they are
             # routing hints, never GF next-hop candidates.
             self.router.loct.update(
                 body.target_addr,
                 body.target_pv,
-                self.node.sim.now,
+                now,
                 neighbor=False,
             )
             self._flush(body.target_addr, body.target_pv.position)
             return
         self.stats.guc_delivered += 1
+        ledger = self.router.ledger
+        if ledger is not None:
+            ledger.delivered("guc", packet.packet_id, now, self.node.address)
         for callback in self.on_deliver:
             callback(self.node, packet)
 
-    def _route(self, packet) -> None:
+    def _route(self, packet, rechecked: bool = False) -> None:
         now = self.node.sim.now
         if packet.expired(now):
             self.stats.guc_drops += 1
+            self._ledger_drop(
+                packet,
+                now,
+                reasons.GF_NO_PROGRESS_EXPIRED
+                if rechecked
+                else reasons.LIFETIME_EXPIRED,
+            )
             return
         if packet.rhl < 1:
             self.stats.guc_drops += 1
+            self._ledger_drop(packet, now, reasons.RHL_EXHAUSTED)
             return
         dest_addr = packet.routing_dest_addr
         # Refresh the routing hint if we know the destination more freshly.
@@ -294,16 +375,40 @@ class UnicastService:
                 sender_position=self.node.position(),
                 dest_position=dest_position,
             )
+            ledger = self.router.ledger
+            if ledger is not None and isinstance(packet, GeoUnicastPacket):
+                ledger.hop(
+                    "guc",
+                    packet.packet_id,
+                    now,
+                    self.node.address,
+                    "gf-forward",
+                    detail=f"next-hop={selection.next_hop.addr}",
+                )
             self.node.send_unicast(selection.next_hop.addr, out)
             self.stats.guc_forwards += 1
         else:
             self.stats.guc_rechecks += 1
             handle = self.node.sim.schedule(
-                self.config.gf_recheck_interval, self._route, packet
+                self.config.gf_recheck_interval, self._route, packet, True
             )
             self._rechecks.add(handle)
             if len(self._rechecks) > 64:
-                self._rechecks = {h for h in self._rechecks if not h.cancelled}
+                # Fired handles never flip ``cancelled``; prune by due time
+                # so the set tracks only genuinely outstanding rechecks.
+                self._rechecks = {
+                    h
+                    for h in self._rechecks
+                    if not h.cancelled and h.time > now
+                }
+
+    def _ledger_drop(self, packet, now: float, reason: str) -> None:
+        """Record a GUC drop (LS replies are infrastructure — untracked)."""
+        ledger = self.router.ledger
+        if ledger is not None and isinstance(packet, GeoUnicastPacket):
+            ledger.dropped(
+                "guc", packet.packet_id, now, self.node.address, reason
+            )
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

@@ -17,6 +17,7 @@ from repro.geonet.beaconing import BeaconService
 from repro.geonet.config import GeoNetConfig
 from repro.geonet.packets import BeaconBody, GeoBroadcastPacket, PacketId
 from repro.geonet.router import GeoRouter
+from repro.geonet.unicast import GeoUnicastPacket
 from repro.radio.channel import BroadcastChannel, RadioInterface
 from repro.radio.frames import Frame, FrameKind
 from repro.security.certificates import Credentials
@@ -53,6 +54,17 @@ class StaticMobility:
         )
 
 
+def ledger_kind(payload) -> Optional[str]:
+    """The :class:`~repro.observability.PacketLedger` namespace of a frame
+    payload: ``"gbc"`` / ``"guc"`` for application packets, None for
+    infrastructure traffic (beacons, SHB, Location Service floods)."""
+    if isinstance(payload, GeoBroadcastPacket):
+        return "gbc"
+    if isinstance(payload, GeoUnicastPacket):
+        return "guc"
+    return None
+
+
 class GeoNode:
     """A GeoNetworking participant."""
 
@@ -70,6 +82,7 @@ class GeoNode:
         name: str = "",
         pseudonym_pool=None,
         pseudonym_period: Optional[float] = None,
+        ledger=None,
     ):
         self.sim = sim
         self.channel = channel
@@ -78,6 +91,9 @@ class GeoNode:
         self.mobility = mobility
         self.name = name
         self._shut_down = False
+        #: Optional :class:`~repro.observability.PacketLedger`; must be set
+        #: before the router is built so every service can capture it.
+        self.ledger = ledger
         self.iface = RadioInterface(get_position=mobility.position, tx_range=tx_range)
         channel.register(self.iface)
         #: Per-node randomness (beacon jitter, LS flood jitter).
@@ -158,14 +174,31 @@ class GeoNode:
         packet is silently lost (GF vulnerability #3).
         """
         if self._shut_down:
+            self._ledger_swallowed(packet)
             return
         self.iface.send(FrameKind.GEO_UNICAST, packet, dest_addr=dest_addr)
 
     def send_broadcast(self, packet: GeoBroadcastPacket) -> None:
         """Link-layer broadcast of a CBF packet."""
         if self._shut_down:
+            self._ledger_swallowed(packet)
             return
         self.iface.send(FrameKind.GEO_BROADCAST, packet)
+
+    def _ledger_swallowed(self, packet) -> None:
+        """Account a copy a shut-down node could no longer transmit."""
+        if self.ledger is None:
+            return
+        kind = ledger_kind(packet)
+        if kind is not None:
+            self.ledger.hop(
+                kind,
+                packet.packet_id,
+                self.sim.now,
+                self.address,
+                "swallowed",
+                detail="node-shut-down",
+            )
 
     def originate(
         self,

@@ -15,7 +15,7 @@ Per EN 302 636-4-1 GeoBroadcast forwarding:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Set
 
 from repro.geo.areas import DestinationArea
@@ -25,6 +25,7 @@ from repro.geonet.guc import UnicastService
 from repro.geonet.loct import LocationTable
 from repro.geonet.packets import BeaconBody, GbcBody, GeoBroadcastPacket, PacketId
 from repro.geonet.unicast import GeoUnicastPacket, LsReplyPacket, LsRequestPacket
+from repro.observability.ledger import reasons
 from repro.radio.frames import Frame, FrameKind
 from repro.security.signing import SignedMessage, sign, verify
 from repro.sim.events import EventHandle
@@ -57,6 +58,8 @@ class GeoRouter:
     def __init__(self, node: "GeoNode"):
         self.node = node
         self.config = node.config
+        #: Optional PacketLedger shared by every service of this node.
+        self.ledger = node.ledger
         self.loct = LocationTable(ttl=self.config.loct_ttl)
         self.gf = GreedyForwarder(self.config, self.loct)
         self.cbf = CbfForwarder(
@@ -67,6 +70,8 @@ class GeoRouter:
             broadcast=self._cbf_broadcast,
             rng=node.rng,
             medium_busy=lambda: node.channel.medium_busy(node.position()),
+            ledger=self.ledger,
+            get_addr=lambda: node.address,
         )
         self.unicast = UnicastService(self)
         self._seq = itertools.count(1)
@@ -103,6 +108,8 @@ class GeoRouter:
             sender_position=self.node.position(),
         )
         self.stats.originated += 1
+        if self.ledger is not None:
+            self.ledger.originated("gbc", packet.packet_id, now, self.node.address)
         self._route(packet)
         return packet.packet_id
 
@@ -169,6 +176,7 @@ class GeoRouter:
         now = self.node.sim.now
         if packet.expired(now):
             self.stats.gf_lifetime_drops += 1
+            self._ledger_drop(packet, now, reasons.LIFETIME_EXPIRED)
             return
         if packet.area.contains(self.node.position()):
             packet_id = packet.packet_id
@@ -196,13 +204,24 @@ class GeoRouter:
     # ------------------------------------------------------------------
     # greedy forwarding
     # ------------------------------------------------------------------
-    def _gf_route(self, packet: GeoBroadcastPacket) -> None:
+    def _gf_route(self, packet: GeoBroadcastPacket, rechecked: bool = False) -> None:
         now = self.node.sim.now
+        ledger = self.ledger
         if packet.expired(now):
             self.stats.gf_lifetime_drops += 1
+            # A packet that expired while parked in the no-progress recheck
+            # loop died of GF starvation, not of ordinary transit lifetime.
+            self._ledger_drop(
+                packet,
+                now,
+                reasons.GF_NO_PROGRESS_EXPIRED
+                if rechecked
+                else reasons.LIFETIME_EXPIRED,
+            )
             return
         if packet.rhl < 1:
             self.stats.gf_rhl_drops += 1
+            self._ledger_drop(packet, now, reasons.RHL_EXHAUSTED)
             return
         selection = self.gf.select_next_hop(
             self.node.position(),
@@ -216,22 +235,41 @@ class GeoRouter:
                 sender_addr=self.node.address,
                 sender_position=self.node.position(),
             )
+            if ledger is not None:
+                ledger.hop(
+                    "gbc",
+                    packet.packet_id,
+                    now,
+                    self.node.address,
+                    "gf-forward",
+                    detail=f"next-hop={selection.next_hop.addr}",
+                )
             self.node.send_unicast(selection.next_hop.addr, out)
             self.stats.gf_forwards += 1
         else:
             # "the forwarder either rechecks its LocT later or broadcasts the
             # packet without specifying the next hop" — we recheck.
             self.stats.gf_rechecks += 1
+            if ledger is not None:
+                ledger.hop(
+                    "gbc", packet.packet_id, now, self.node.address, "gf-recheck"
+                )
             handle = self.node.sim.schedule(
-                self.config.gf_recheck_interval, self._gf_route, packet
+                self.config.gf_recheck_interval, self._gf_route, packet, True
             )
             self._pending_rechecks.add(handle)
             self._prune_rechecks()
 
     def _prune_rechecks(self) -> None:
+        # A handle whose due time has passed has fired (``cancelled`` stays
+        # False after firing), so prune by due time as well — otherwise the
+        # set retains every recheck ever scheduled.
         if len(self._pending_rechecks) > 64:
+            now = self.node.sim.now
             self._pending_rechecks = {
-                h for h in self._pending_rechecks if not h.cancelled
+                h
+                for h in self._pending_rechecks
+                if not h.cancelled and h.time > now
             }
 
     # ------------------------------------------------------------------
@@ -239,8 +277,20 @@ class GeoRouter:
     # ------------------------------------------------------------------
     def _deliver_local(self, packet: GeoBroadcastPacket) -> None:
         self.stats.delivered += 1
+        if self.ledger is not None:
+            self.ledger.delivered(
+                "gbc", packet.packet_id, self.node.sim.now, self.node.address
+            )
         for callback in self.on_deliver:
             callback(self.node, packet)
+
+    def _ledger_drop(
+        self, packet: GeoBroadcastPacket, now: float, reason: str
+    ) -> None:
+        if self.ledger is not None:
+            self.ledger.dropped(
+                "gbc", packet.packet_id, now, self.node.address, reason
+            )
 
     def _cbf_broadcast(self, packet: GeoBroadcastPacket, rhl: int) -> None:
         out = packet.next_hop_copy(

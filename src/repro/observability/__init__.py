@@ -1,0 +1,31 @@
+"""Packet-lifecycle observability.
+
+The paper's attacks work because GF/CBF packets die *silently*: a unicast
+toward a poisoned LocT entry simply reaches nobody, and no protocol layer
+accounts for the loss.  This package provides the accounting the protocol
+lacks — a per-run :class:`PacketLedger` that assigns every originated
+application packet exactly one terminal outcome from a drop-reason
+taxonomy, with optional per-hop journey records.
+
+The ledger is strictly passive: it consumes no randomness, schedules no
+events and never touches protocol state, so enabling it leaves seeded runs
+bit-identical (covered by golden tests).
+"""
+
+from repro.observability.ledger import (
+    DROP_REASONS,
+    JourneyEvent,
+    OUTCOMES,
+    PacketLedger,
+    PacketRecord,
+    reasons,
+)
+
+__all__ = [
+    "DROP_REASONS",
+    "JourneyEvent",
+    "OUTCOMES",
+    "PacketLedger",
+    "PacketRecord",
+    "reasons",
+]

@@ -202,6 +202,13 @@ class BroadcastChannel:
         self._ys = np.empty(0)
         self._link_overrides = np.empty(0)
         self.stats = ChannelStats()
+        #: Observability hooks fired when a unicast frame misses its
+        #: addressee — ``(frame, why)`` with ``why`` one of
+        #: ``"out-of-range"`` (addressee not among the receivers) or
+        #: ``"faded"`` (addressee drawn into the fading loss).  Purely
+        #: passive: the list is empty by default and callbacks must not
+        #: mutate protocol state.
+        self.on_unicast_lost: List[Callable[[Frame, str], None]] = []
 
     # ------------------------------------------------------------------
     # membership
@@ -349,10 +356,13 @@ class BroadcastChannel:
             (self._sim.now + self.base_latency, tx_pos.x, tx_pos.y, eff_range),
         )
         receivers = self._receivers_for(frame, sender)
-        if frame.dest_addr is not None and not any(
-            iface.address == frame.dest_addr for iface in receivers
+        dest_addr = frame.dest_addr
+        if dest_addr is not None and not any(
+            iface.address == dest_addr for iface in receivers
         ):
             self.stats.unicast_lost += 1
+            for hook in self.on_unicast_lost:
+                hook(frame, "out-of-range")
         delivered = 0
         # Hot loop: one scheduled delivery per receiver.  The jitter draw is
         # ``uniform(0, j)`` inlined as ``j * random()`` (bit-identical: the
@@ -367,6 +377,10 @@ class BroadcastChannel:
         for iface in receivers:
             if loss_rate > 0.0 and loss_random() < loss_rate:
                 self.stats.frames_faded += 1
+                # A faded addressee is the second silent-unicast-loss site.
+                if dest_addr is not None and iface.address == dest_addr:
+                    for hook in self.on_unicast_lost:
+                        hook(frame, "faded")
                 continue
             delivered += 1
             schedule_fire(base + jitter * rng_random(), iface.deliver, frame)

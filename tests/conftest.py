@@ -38,6 +38,7 @@ class Testbed:
         beaconing: bool = True,
         config: GeoNetConfig | None = None,
         name: str | None = None,
+        ledger=None,
     ) -> GeoNode:
         self._counter += 1
         node_name = name or f"node{self._counter}"
@@ -51,6 +52,7 @@ class Testbed:
             rng=self.streams.get(f"beacon:{node_name}"),
             beaconing=beaconing,
             name=node_name,
+            ledger=ledger,
         )
 
     def chain(self, n: int, spacing: float, **kwargs) -> list:

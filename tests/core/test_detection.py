@@ -99,7 +99,7 @@ def test_alert_callbacks_fire(testbed):
 def test_each_replay_flagged_once(testbed):
     testbed.add_node(0.0)
     v2 = testbed.add_node(400.0)
-    v3 = testbed.add_node(880.0)
+    testbed.add_node(880.0)
     detector = MisbehaviorDetector(v2)
     InterAreaInterceptor(
         sim=testbed.sim,

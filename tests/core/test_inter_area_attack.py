@@ -4,7 +4,6 @@ The scenarios mirror Figure 4: V1 (victim) cannot reach V3, the attacker can
 reach both, and V2 is the correct next hop.
 """
 
-import pytest
 
 from repro.core.attacks import InterAreaInterceptor
 from repro.geo.areas import CircularArea

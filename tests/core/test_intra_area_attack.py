@@ -1,6 +1,5 @@
 """Tests for the intra-area blockage attack (paper §III-C / Figure 5)."""
 
-import pytest
 
 from repro.core.attacks import IntraAreaBlocker
 from repro.geo.areas import RectangularArea
@@ -52,8 +51,6 @@ def test_replay_carries_rhl_one(testbed):
     nodes, _ = build_chain(testbed, n=4)
     blocker = deploy_blocker(testbed)
     captured = []
-    from repro.radio.frames import FrameKind
-
     original_inject = blocker.inject
 
     def spy(kind, payload, **kwargs):

@@ -1,6 +1,5 @@
 """Tests for the mitigation enablers and their end-to-end effect (§V)."""
 
-import pytest
 
 from repro.core.mitigations import (
     duplicate_rhl_plausible,
@@ -61,7 +60,7 @@ def test_plausibility_check_blocks_inter_area_attack_end_to_end(make_testbed):
     )
     testbed = make_testbed(config=config)
     v1 = testbed.add_node(0.0)
-    v2 = testbed.add_node(400.0)
+    testbed.add_node(400.0)
     v3 = testbed.add_node(880.0)
     dest = testbed.add_node(1300.0)
     got = []

@@ -117,8 +117,7 @@ def test_attacker_does_not_influence_vehicle_motion(testbed):
 
 
 def test_attack_reaction_delay_is_respected(testbed):
-    received_at = {}
-    victim = testbed.add_node(0.0)
+    testbed.add_node(0.0)
     testbed.add_node(50.0)
     attacker = deploy(testbed, InterAreaInterceptor, reaction_delay=0.01)
     replay_times = []

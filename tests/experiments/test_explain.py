@@ -1,0 +1,118 @@
+"""Tests for the ledgered `explain` pipeline: passivity, conservation,
+and the attack-loss attribution the paper's mechanics predict."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.explain import (
+    EXPLAIN_TARGETS,
+    conservation_report,
+    explain,
+)
+from repro.experiments.runner import run_single
+from repro.observability.ledger import reasons
+from tests.experiments._golden_capture import outcome_digest
+
+pytestmark = pytest.mark.slow
+
+DURATION = 30.0
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def inter_explained():
+    return explain("inter-area", runs=1, duration=DURATION, seed=SEED)
+
+
+def test_ledger_is_passive_bit_identical_run(inter_explained):
+    """The acceptance gate: a ledgered run and a plain run of the same
+    (config, seed) produce byte-identical packet outcomes."""
+    config = ExperimentConfig.inter_area_default(duration=DURATION, seed=SEED)
+    plain = run_single(config, attacked=True, seed=SEED)
+    ledgered = inter_explained.atk_runs[0]
+    assert outcome_digest(plain) == outcome_digest(ledgered)
+    assert plain.overall_rate == ledgered.overall_rate
+    assert plain.extras["frames_sent"] == ledgered.extras["frames_sent"]
+    assert plain.drop_breakdown is None
+    assert ledgered.drop_breakdown is not None
+
+
+def test_conservation_attacked_and_attack_free(inter_explained):
+    """Every originated packet has exactly one terminal outcome, with and
+    without the attacker."""
+    assert all(conservation_report(inter_explained).values())
+    for run in inter_explained.af_runs + inter_explained.atk_runs:
+        assert sum(run.drop_breakdown.values()) == run.n_packets
+
+
+def test_interception_losses_are_unreachable_next_hop(inter_explained):
+    """≥99 % of the attack-induced inter-area losses must be silently-lost
+    unicasts to an unreachable next hop — the paper's core mechanism."""
+    af = inter_explained.af_runs[0].drop_breakdown
+    atk = inter_explained.atk_runs[0].drop_breakdown
+    added = {
+        r: atk.get(r, 0) - af.get(r, 0)
+        for r in set(af) | set(atk)
+        if r != reasons.DELIVERED and atk.get(r, 0) - af.get(r, 0) > 0
+    }
+    total = sum(added.values())
+    assert total > 0, "the attack dropped no packets in this window"
+    share = added.get(reasons.UNREACHABLE_NEXT_HOP, 0) / total
+    assert share >= 0.99
+
+
+def test_drop_breakdown_lands_in_extras(inter_explained):
+    run = inter_explained.atk_runs[0]
+    for reason, count in run.drop_breakdown.items():
+        assert run.extras[f"ledger_{reason}"] == float(count)
+
+
+def test_protocol_stats_always_land_in_extras(inter_explained):
+    run = inter_explained.atk_runs[0]
+    assert run.extras["stats_router_originated"] == float(run.n_packets)
+    assert run.extras["stats_gf_selections"] >= 0.0
+
+
+def test_format_names_the_dominant_loss(inter_explained):
+    text = inter_explained.format()
+    assert "unreachable-next-hop" in text
+    assert "dominant attack-induced loss" in text
+
+
+def test_explain_rejects_unknown_target():
+    with pytest.raises(ValueError):
+        explain("fig7", runs=1, duration=5.0, seed=1)
+    assert "inter-area" in EXPLAIN_TARGETS
+
+
+def test_journeys_mode_records_hop_sequences():
+    result = explain(
+        "inter-area", runs=1, duration=10.0, seed=SEED, journeys=5
+    )
+    ledger = result.atk_ledgers[0]
+    journeyed = [r for r in ledger.records() if ledger.journey(r.kind, r.packet_id)]
+    assert journeyed, "journeys mode recorded no events"
+    first = journeyed[0]
+    actions = [e.action for e in ledger.journey(first.kind, first.packet_id)]
+    assert actions[0] == "originated"
+    text = result.format(journeys=5)
+    assert "journeys of up to 5 undelivered attacked packets" in text
+
+
+def test_cli_explain_dispatch(capsys):
+    from repro.experiments.cli import main
+
+    code = main(
+        ["explain", "inter-area", "--duration", "10", "--seed", "7"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "packet drop breakdown" in out
+    assert "delivered" in out
+
+
+def test_cli_explain_requires_subcommand_form():
+    from repro.experiments.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["explain"])

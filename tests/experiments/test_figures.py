@@ -1,6 +1,5 @@
 """Smoke tests for the figure drivers (miniature durations)."""
 
-import pytest
 
 from repro.experiments.figures import fig7, fig9, fig14
 

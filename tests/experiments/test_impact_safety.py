@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.impact import (
-    ImpactComparison,
     compare_impact,
     impact_config,
     run_impact_case,

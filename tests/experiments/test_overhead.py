@@ -1,6 +1,5 @@
 """Tests for the mitigation overhead model."""
 
-import pytest
 
 from repro.experiments.overhead import MitigationCost, analyse, format_analysis
 from repro.radio.channel import ChannelStats

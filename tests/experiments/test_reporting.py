@@ -7,7 +7,6 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import (
     FigureResult,
-    FigureSeries,
     cumulative_table,
     fmt_pct,
 )
@@ -100,3 +99,63 @@ def test_figure_result_sketch_renders():
     sketch = result.sketch()
     assert "FigZ" in sketch
     assert "s af " in sketch
+
+
+# ----------------------------------------------------------------------
+# drop breakdown table / attribution
+# ----------------------------------------------------------------------
+def _ledgered_run(seed, attacked, breakdown):
+    from repro.experiments.metrics import BinnedRates
+    from repro.experiments.runner import RunResult
+
+    return RunResult(
+        seed=seed,
+        attacked=attacked,
+        binned=BinnedRates(bin_width=5.0, rates=[]),
+        overall_rate=0.5,
+        n_packets=sum(breakdown.values()),
+        outcomes=[],
+        drop_breakdown=breakdown,
+    )
+
+
+def test_drop_breakdown_table_columns_conserve():
+    from repro.experiments.reporting import drop_breakdown_table
+
+    af = [_ledgered_run(1, False, {"delivered": 30, "unreachable-next-hop": 9})]
+    atk = [_ledgered_run(1, True, {"delivered": 19, "unreachable-next-hop": 20})]
+    text = drop_breakdown_table(af, atk)
+    assert "unreachable-next-hop" in text
+    assert "total originated" in text
+    total_line = next(
+        line for line in text.splitlines() if "total originated" in line
+    )
+    assert "39" in total_line  # both columns sum to originations
+    assert "+11" in text  # the attack's added unreachable-next-hop drops
+
+
+def test_drop_breakdown_table_without_ledger_data():
+    from repro.experiments.reporting import drop_breakdown_table
+
+    af = [_ledgered_run(1, False, {})]
+    af[0].drop_breakdown = None
+    assert "no ledger data" in drop_breakdown_table(af, [])
+
+
+def test_dominant_loss_attribution():
+    from repro.experiments.reporting import dominant_loss
+
+    af = [_ledgered_run(1, False, {"delivered": 30, "rhl-exhausted": 2})]
+    atk = [
+        _ledgered_run(
+            1,
+            True,
+            {"delivered": 20, "rhl-exhausted": 3, "unreachable-next-hop": 9},
+        )
+    ]
+    reason, excess, share = dominant_loss(af, atk)
+    assert reason == "unreachable-next-hop"
+    assert excess == 9
+    assert share == 0.9
+    # no added drops -> no attribution
+    assert dominant_loss(af, af) is None

@@ -182,3 +182,35 @@ def test_invalid_target_name_rejected():
         RunKey(target="../escape", config_hash="ab", seed=1, attacked=False)
     with pytest.raises(StoreError):
         RunKey(target="", config_hash="ab", seed=1, attacked=False)
+
+
+# ----------------------------------------------------------------------
+# drop breakdown (packet-lifecycle ledger)
+# ----------------------------------------------------------------------
+def test_drop_breakdown_round_trips():
+    original = sample_result()
+    original.drop_breakdown = {
+        "delivered": 27,
+        "unreachable-next-hop": 12,
+    }
+    rebuilt = run_result_from_dict(
+        json.loads(json.dumps(run_result_to_dict(original)))
+    )
+    assert rebuilt == original
+    assert rebuilt.drop_breakdown == original.drop_breakdown
+
+
+def test_missing_drop_breakdown_reads_as_none():
+    """Records written before the ledger existed have no key at all."""
+    data = run_result_to_dict(sample_result())
+    del data["drop_breakdown"]
+    rebuilt = run_result_from_dict(json.loads(json.dumps(data)))
+    assert rebuilt.drop_breakdown is None
+
+
+def test_store_round_trips_drop_breakdown(tmp_path):
+    store = ResultStore(tmp_path)
+    result = sample_result()
+    result.drop_breakdown = {"delivered": 3}
+    store.put_run(key(), result)
+    assert store.get_run(key()).drop_breakdown == {"delivered": 3}

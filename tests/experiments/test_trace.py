@@ -88,3 +88,48 @@ def test_to_text_empty(testbed):
 def test_invalid_cap_rejected(testbed):
     with pytest.raises(ValueError):
         ChannelTracer(testbed.channel, max_records=0)
+
+
+def test_records_carry_packet_ids(testbed):
+    a = testbed.add_node(0.0)
+    testbed.add_node(400.0)
+    testbed.add_node(800.0)
+    tracer = ChannelTracer(testbed.channel)
+    testbed.warm_up()
+    pid = a.originate(CircularArea(Position(800.0, 0.0), 30.0), "traced")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    mine = list(tracer.filter(packet_id=pid))
+    assert mine
+    assert all(r.packet_id == pid for r in mine)
+    assert "id=" in mine[0].line()
+    # beacons have no packet id
+    beacons = list(tracer.filter(kind=FrameKind.BEACON))
+    assert all(r.packet_id is None for r in beacons)
+
+
+def test_journey_merges_ledger_and_radio_views(testbed):
+    from repro.observability import PacketLedger
+
+    ledger = PacketLedger(journeys=True)
+    a = testbed.add_node(0.0, ledger=ledger)
+    testbed.add_node(400.0, ledger=ledger)
+    testbed.add_node(800.0, ledger=ledger)
+    tracer = ChannelTracer(testbed.channel)
+    testbed.warm_up()
+    pid = a.originate(CircularArea(Position(800.0, 0.0), 30.0), "journeyed")
+    testbed.sim.run_until(testbed.sim.now + 1.0)
+    text = tracer.journey(ledger, "gbc", pid)
+    assert "[node ]" in text and "[radio]" in text
+    assert "originated" in text
+    times = []
+    for line in text.splitlines():
+        times.append(float(line.split("s", 1)[0].split("]")[-1].strip()))
+    assert times == sorted(times)
+
+
+def test_journey_of_unknown_packet(testbed):
+    from repro.observability import PacketLedger
+
+    tracer = ChannelTracer(testbed.channel)
+    text = tracer.journey(PacketLedger(journeys=True), "gbc", (1, 2))
+    assert text == "(no journey recorded for this packet)"

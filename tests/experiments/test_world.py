@@ -2,9 +2,7 @@
 
 import dataclasses
 
-import pytest
-
-from repro.experiments.config import AttackKind, ExperimentConfig, WorkloadKind
+from repro.experiments.config import AttackKind, ExperimentConfig
 from repro.experiments.world import World
 from repro.traffic.road import Direction
 

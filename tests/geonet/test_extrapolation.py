@@ -1,9 +1,5 @@
 """Tests for the optional LocTE PV extrapolation in GF ranking."""
 
-import math
-
-import pytest
-
 from repro.geo.areas import CircularArea
 from repro.geo.position import Position, PositionVector
 from repro.geonet.config import GeoNetConfig
@@ -66,16 +62,45 @@ def test_extrapolation_does_not_defeat_the_beacon_replay():
         assert selection.next_hop.addr == 2
 
 
-def test_plausibility_check_uses_advertised_position_even_with_extrapolation():
+def plausibility_gf(extrapolation: bool):
     config = GeoNetConfig(
-        loct_extrapolation=True,
+        loct_extrapolation=extrapolation,
         plausibility_check=True,
         plausibility_threshold=486.0,
     )
     loct = LocationTable(ttl=config.loct_ttl)
-    gf = GreedyForwarder(config, loct)
-    # Advertised within threshold, extrapolated far beyond it: the §V-A
-    # check keys on the advertised (beacon) position and accepts it.
+    return GreedyForwarder(config, loct), loct
+
+
+def test_plausibility_check_evaluates_the_extrapolated_position():
+    """With extrapolation on, GF ranks (and would forward toward) the
+    dead-reckoned position — so the mitigation must judge that same
+    position.  An entry advertised within the threshold but extrapolated
+    far beyond it is exactly the kind of unreachable next hop the §V-A
+    check exists to reject."""
+    gf, loct = plausibility_gf(extrapolation=True)
+    # Advertised at 450 (within 486), extrapolated to 450 + 30*20 = 1050.
+    loct.update(1, moving_pv(450, 30.0, 0.0, t=0.0), now=0.0)
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=20.0)
+    assert selection.next_hop is None
+    assert selection.rejected_by_plausibility == 1
+
+
+def test_plausibility_check_and_ranking_agree_on_the_chosen_candidate():
+    """A slow mover whose extrapolated position stays plausible is still
+    accepted; the filter and the ranking see identical coordinates."""
+    gf, loct = plausibility_gf(extrapolation=True)
+    loct.update(1, moving_pv(400, 2.0, 0.0, t=0.0), now=0.0)  # at 440 now
+    selection = gf.select_next_hop(Position(0, 0), DEST, now=20.0)
+    assert selection.next_hop is not None
+    assert selection.next_hop.addr == 1
+    assert selection.rejected_by_plausibility == 0
+
+
+def test_plausibility_check_uses_advertised_position_without_extrapolation():
+    """Default mode is unchanged: the check keys on the advertised (beacon)
+    position, as the paper's §V-A baseline does."""
+    gf, loct = plausibility_gf(extrapolation=False)
     loct.update(1, moving_pv(450, 30.0, 0.0, t=0.0), now=0.0)
     selection = gf.select_next_hop(Position(0, 0), DEST, now=20.0)
     assert selection.next_hop is not None

@@ -1,6 +1,5 @@
 """Tests for the Greedy Forwarding algorithm."""
 
-import pytest
 
 from repro.geo.areas import CircularArea
 from repro.geo.position import Position, PositionVector

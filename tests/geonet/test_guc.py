@@ -1,6 +1,5 @@
 """Tests for GeoUnicast and the Location Service."""
 
-import pytest
 
 from repro.geonet.guc import LS_MAX_ATTEMPTS
 
@@ -176,8 +175,8 @@ class TestGucUnderAttack:
         from repro.geo.position import Position
 
         v1 = testbed.add_node(0.0)
-        v2 = testbed.add_node(400.0)
-        v3 = testbed.add_node(880.0)
+        testbed.add_node(400.0)
+        testbed.add_node(880.0)
         dest = testbed.add_node(1300.0)
         got = collect_unicasts(dest)
         InterAreaInterceptor(
@@ -194,3 +193,75 @@ class TestGucUnderAttack:
         testbed.sim.run_until(testbed.sim.now + 3.0)
         assert got == []
         assert testbed.channel.stats.unicast_lost >= 1
+
+
+class TestGucBoundedState:
+    """The GUC dedup tables and the recheck set must not grow without
+    bound over a run (same contract as ``CbfForwarder._done``)."""
+
+    def _stuck_packet(self, node, *, lifetime=60.0):
+        from repro.geo.position import Position
+        from repro.geonet.unicast import GeoUnicastPacket, GucBody
+        from repro.security.signing import sign
+
+        body = GucBody(
+            source_addr=node.address,
+            sequence_number=1,
+            source_pv=node.position_vector(),
+            dest_addr=424242,
+            payload="stuck",
+            lifetime=lifetime,
+            created_at=node.sim.now,
+        )
+        return GeoUnicastPacket(
+            signed=sign(body, node.credentials),
+            rhl=10,
+            sender_addr=node.address,
+            sender_position=node.position(),
+            dest_position=Position(3000.0, 0.0),
+        )
+
+    def test_sweep_drops_expired_dedup_entries(self, testbed):
+        nodes = testbed.chain(4, 400.0)
+        got = collect_unicasts(nodes[-1])
+        testbed.warm_up()
+        nodes[0].send_geo_unicast(nodes[-1].address, "x", lifetime=2.0)
+        testbed.sim.run_until(testbed.sim.now + 5.0)
+        assert len(got) == 1
+        target = nodes[-1].router.unicast
+        assert target._delivered  # delivery dedup entry recorded
+        assert any(n.router.unicast._ls_seen for n in nodes)
+        for node in nodes:
+            svc = node.router.unicast
+            svc._next_sweep = 0.0
+            svc._sweep(testbed.sim.now + 1000.0)
+            assert svc._delivered == {}
+            assert svc._ls_seen == {}
+
+    def test_dedup_entries_expire_with_their_packets(self, testbed):
+        """Entries carry a drop-after keyed on the packet's own lifetime
+        (LS ids on the retransmit window), so the sweep can always reclaim
+        them once the packet cannot recur."""
+        nodes = testbed.chain(4, 400.0)
+        testbed.warm_up()
+        nodes[0].send_geo_unicast(nodes[-1].address, "x", lifetime=2.0)
+        testbed.sim.run_until(testbed.sim.now + 3.0)
+        horizon = testbed.sim.now + 10.0
+        for node in nodes:
+            svc = node.router.unicast
+            for drop_after in list(svc._ls_seen.values()) + list(
+                svc._delivered.values()
+            ):
+                assert drop_after < horizon
+
+    def test_recheck_set_prunes_fired_handles(self, testbed):
+        """A GF recheck loop fires hundreds of events over a packet's
+        lifetime; fired handles never flip ``cancelled``, so the set must
+        prune by due time or it retains every recheck ever scheduled."""
+        a = testbed.add_node(0.0)
+        svc = a.router.unicast
+        testbed.warm_up()
+        svc._route(self._stuck_packet(a))
+        testbed.sim.run_until(testbed.sim.now + 50.0)
+        assert svc.stats.guc_rechecks >= 90
+        assert len(svc._rechecks) <= 65

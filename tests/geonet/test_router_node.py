@@ -4,7 +4,6 @@ import pytest
 
 from repro.geo.areas import CircularArea, RectangularArea
 from repro.geo.position import Position
-from repro.geonet.config import GeoNetConfig
 from repro.radio.technology import DSRC
 
 FLOOD = RectangularArea(-100, 5000, -100, 100)
@@ -96,7 +95,7 @@ class TestGreedyForwardingPath:
     def test_unicast_loss_is_silent(self, testbed):
         """Vulnerability #3: no acknowledgement, no recovery."""
         a = testbed.add_node(0)
-        b = testbed.add_node(400)
+        testbed.add_node(400)
         dest = testbed.add_node(2000)  # too far for anyone
         got = collect_deliveries(dest)
         testbed.warm_up()
@@ -171,7 +170,7 @@ class TestCbfFloodPath:
 class TestNodeLifecycle:
     def test_shutdown_stops_beaconing_and_reception(self, testbed):
         a = testbed.add_node(0)
-        b = testbed.add_node(100)
+        testbed.add_node(100)
         testbed.warm_up()
         sent_before = a.beacon_service.beacons_sent
         a.shutdown()
@@ -252,3 +251,17 @@ class TestAuthentication:
         testbed.sim.run_until(31.0)
         assert 99 not in victim.router.loct
         assert victim.router.stats.beacons_rejected_stale == 1
+
+
+class TestGfRecheckBounds:
+    def test_pending_recheck_set_prunes_fired_handles(self, testbed):
+        """Same contract as the GUC recheck set: handles of fired rechecks
+        must be pruned by due time, not retained for the node's lifetime."""
+        a = testbed.add_node(0.0)
+        testbed.warm_up()
+        a.originate(
+            CircularArea(Position(3000.0, 0.0), 100.0), "stuck", lifetime=60.0
+        )
+        testbed.sim.run_until(testbed.sim.now + 50.0)
+        assert a.router.stats.gf_rechecks >= 90
+        assert len(a.router._pending_rechecks) <= 65

@@ -7,7 +7,6 @@ the slowest tests in the suite (a few seconds each).
 
 import dataclasses
 
-import pytest
 
 from repro.experiments import ExperimentConfig, run_ab
 from repro.experiments.world import World

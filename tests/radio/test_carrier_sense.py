@@ -1,6 +1,5 @@
 """Tests for carrier sense (CSMA) on the broadcast channel."""
 
-import pytest
 
 from repro.geo.position import Position
 from repro.radio.channel import BroadcastChannel, RadioInterface

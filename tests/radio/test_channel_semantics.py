@@ -223,7 +223,7 @@ def test_delivery_order_survives_swap_remove(use_grid):
 
     a, b, c, d = reg("a", 10), reg("b", 20), reg("c", 30), reg("d", 40)
     channel.unregister(b)  # swap-remove moves d into b's slot
-    e = reg("e", 50)
+    reg("e", 50)
     sender.send(FrameKind.BEACON, "x")
     sim.run_until(1.0)
     assert order == ["a", "c", "d", "e"]

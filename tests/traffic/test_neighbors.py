@@ -1,7 +1,6 @@
 """Tests for the traffic layer's grid-backed proximity queries
 (:meth:`TrafficSimulation.vehicles_near`, :meth:`leader_of`)."""
 
-import math
 import random
 
 from repro.traffic.idm import IdmParameters
@@ -115,7 +114,7 @@ def test_leader_of_respects_within_limit():
 def test_leader_of_ignores_other_lanes_and_vehicles_behind():
     road = RoadSegment(length=2000.0, lanes_per_direction=2)
     traffic = make_sim(road=road)
-    east_lanes = [l for l in road.lanes if l.direction is Direction.EAST]
+    east_lanes = [lane for lane in road.lanes if lane.direction is Direction.EAST]
     subject = Vehicle(lane=east_lanes[0], x=100.0, speed=30.0)
     behind = Vehicle(lane=east_lanes[0], x=50.0, speed=30.0)
     other_lane = Vehicle(lane=east_lanes[1], x=120.0, speed=30.0)
@@ -129,7 +128,7 @@ def test_leader_of_ignores_other_lanes_and_vehicles_behind():
 def test_leader_of_westbound_lane_uses_progress_not_x():
     road = RoadSegment(length=1000.0, lanes_per_direction=1, directions=2)
     traffic = make_sim(road=road)
-    west = next(l for l in road.lanes if l.direction is Direction.WEST)
+    west = next(lane for lane in road.lanes if lane.direction is Direction.WEST)
     # Westbound progress runs against x: the leader has the *smaller* x.
     rear = Vehicle(lane=west, x=600.0, speed=30.0)
     front = Vehicle(lane=west, x=500.0, speed=30.0)

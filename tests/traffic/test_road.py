@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.traffic.road import Direction, Lane, RoadSegment
+from repro.traffic.road import Direction, RoadSegment
 
 
 def test_default_road_is_paper_default():
