@@ -1,0 +1,17 @@
+"""Shared exception types.
+
+Lives at the package root so every layer (``geonet``, ``experiments``,
+``faults``) can raise the same error without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """A configuration value is nonsensical.
+
+    Raised at construction time — naming the offending field — instead of
+    letting a bad value fail deep inside a run.  Subclasses
+    :class:`ValueError` so callers that guarded against the old behavior
+    keep working.
+    """

@@ -47,6 +47,7 @@ from repro.experiments.figures import (
     fig14,
     tables,
 )
+from repro.experiments.impairments import fault_sweep
 from repro.experiments.metrics import BinnedRates
 from repro.experiments.runner import AbResult, RunResult, expand_jobs, run_single
 from repro.experiments.store import ResultStore, RunKey, config_hash
@@ -89,6 +90,7 @@ AB_TARGETS: Dict[str, Callable[..., Any]] = {
     "fig10": fig10.figure10,
     "fig14a": fig14.fig14a,
     "fig14b": fig14.fig14b,
+    "faults": fault_sweep,
 }
 
 
@@ -169,6 +171,7 @@ CAMPAIGN_TARGETS: List[str] = [
     "fig14a",
     "fig14b",
     "overhead",
+    "faults",
 ]
 
 #: CLI conveniences: aggregate names expanded to atomic targets.

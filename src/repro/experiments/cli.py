@@ -8,6 +8,7 @@ Examples::
     repro-experiments campaign all --resume --processes 8 --timeout 900
     repro-experiments campaign fig7 fig9 fig14a --resume
     repro-experiments explain inter-area --runs 2 --duration 100
+    repro-experiments faults --runs 2 --duration 100 --processes 8
 
 ``campaign`` is the fault-tolerant way to regenerate many artefacts: every
 individual simulation run lands in the persistent result store as it
@@ -19,6 +20,10 @@ routes it through the same store.
 ``explain`` runs seed-paired A/B simulations with the packet-lifecycle
 ledger enabled and reports where every application packet died — the
 terminal-outcome breakdown behind the figures' aggregate drop rates.
+
+``faults`` sweeps the inter-area attack over a frame-loss × node-churn
+impairment grid (store-backed, resumable like a campaign) and reports how
+attack success and delivery ratio hold up off the ideal channel.
 """
 
 from __future__ import annotations
@@ -116,6 +121,10 @@ def _run_target(name: str, args: argparse.Namespace) -> None:
         _emit(fig14.fig14a(**kw).format())
     elif name == "fig14b":
         _emit(fig14.fig14b(**kw).format())
+    elif name == "faults":
+        from repro.experiments.impairments import fault_sweep
+
+        _emit(fault_sweep(**kw).format())
     elif name == "overhead":
         from repro.experiments.config import ExperimentConfig
         from repro.experiments.overhead import format_analysis
@@ -186,6 +195,7 @@ ALL_TARGETS = [
     "fig14a",
     "fig14b",
     "overhead",
+    "faults",
 ]
 
 
@@ -290,6 +300,35 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments faults",
+        description="Sweep the inter-area attack over a frame-loss x "
+        "node-churn impairment grid (store-backed and resumable).",
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--no-resume",
+        dest="resume",
+        action="store_false",
+        help="re-execute runs even when they are already in the store",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run timeout in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per run before recording a failure (default: %(default)s)",
+    )
+    return parser
+
+
 def _build_target_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -319,6 +358,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_saved(args.targets, args)
     if argv and argv[0] == "explain":
         return _run_explain(_build_explain_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "faults":
+        # Store-backed by design: the 9-cell x N-run grid is expensive, so
+        # a re-issued sweep only costs the missing runs.
+        args = _build_faults_parser().parse_args(argv[1:])
+        return _run_saved(["faults"], args)
     args = _build_target_parser().parse_args(argv)
     if args.target == "campaign":
         raise SystemExit("usage: repro-experiments campaign <targets...>")

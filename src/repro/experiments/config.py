@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 from repro.geonet.config import GeoNetConfig
 from repro.radio.technology import CV2X, DSRC, RadioTechnology, RangeClass
 
@@ -50,8 +52,30 @@ class RoadConfig:
     entry_speed: float = 30.0
 
     def __post_init__(self):
+        if self.length <= 0:
+            raise ConfigError(f"road.length must be positive, got {self.length!r}")
+        if self.lanes_per_direction < 1:
+            raise ConfigError(
+                "road.lanes_per_direction must be >= 1, got "
+                f"{self.lanes_per_direction!r}"
+            )
+        if self.lane_width <= 0:
+            raise ConfigError(
+                f"road.lane_width must be positive, got {self.lane_width!r}"
+            )
+        if self.directions not in (1, 2):
+            raise ConfigError(
+                f"road.directions must be 1 or 2, got {self.directions!r}"
+            )
         if self.inter_vehicle_space <= 0:
-            raise ValueError("inter_vehicle_space must be positive")
+            raise ConfigError(
+                "road.inter_vehicle_space must be positive, got "
+                f"{self.inter_vehicle_space!r}"
+            )
+        if self.entry_speed <= 0:
+            raise ConfigError(
+                f"road.entry_speed must be positive, got {self.entry_speed!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -71,7 +95,18 @@ class AttackConfig:
 
     def __post_init__(self):
         if self.attack_range <= 0:
-            raise ValueError("attack_range must be positive")
+            raise ConfigError(
+                f"attack.attack_range must be positive, got {self.attack_range!r}"
+            )
+        if self.reaction_delay < 0:
+            raise ConfigError(
+                "attack.reaction_delay must be non-negative, got "
+                f"{self.reaction_delay!r}"
+            )
+        if self.replay_range is not None and self.replay_range <= 0:
+            raise ConfigError(
+                f"attack.replay_range must be positive, got {self.replay_range!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -91,13 +126,27 @@ class WorkloadConfig:
 
     def __post_init__(self):
         if self.packet_interval <= 0:
-            raise ValueError("packet_interval must be positive")
+            raise ConfigError(
+                "workload.packet_interval must be positive, got "
+                f"{self.packet_interval!r}"
+            )
+        if self.dest_offset < 0:
+            raise ConfigError(
+                f"workload.dest_offset must be non-negative, got {self.dest_offset!r}"
+            )
+        if self.dest_radius <= 0:
+            raise ConfigError(
+                f"workload.dest_radius must be positive, got {self.dest_radius!r}"
+            )
         if (
             self.source_xmin is not None
             and self.source_xmax is not None
             and self.source_xmax < self.source_xmin
         ):
-            raise ValueError("source_xmax must be >= source_xmin")
+            raise ConfigError(
+                "workload.source_xmax must be >= source_xmin, got "
+                f"xmin={self.source_xmin!r} xmax={self.source_xmax!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -118,14 +167,38 @@ class ExperimentConfig:
     #: Use the grid-backed receiver lookup (False = linear-scan fallback,
     #: kept for A/B benchmarking and equivalence tests).
     channel_use_spatial_index: bool = True
+    #: Deterministic fault injection (link loss, churn, GPS error, beacon
+    #: timing).  The default zero plan installs nothing and changes nothing
+    #: — golden-verified bit-identity with a plan-less run.
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Cadence (seconds) of the runtime invariant checker; None (default)
+    #: disables it.  Enabling occupies event-queue slots, so it is outside
+    #: the bit-identity contract.
+    invariant_check_interval: Optional[float] = None
     seed: int = 1
     label: str = ""
 
     def __post_init__(self):
-        if self.duration <= 0 or self.bin_width <= 0:
-            raise ValueError("duration and bin_width must be positive")
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be positive, got {self.duration!r}")
+        if self.bin_width <= 0:
+            raise ConfigError(f"bin_width must be positive, got {self.bin_width!r}")
+        if self.mobility_dt <= 0:
+            raise ConfigError(
+                f"mobility_dt must be positive, got {self.mobility_dt!r}"
+            )
         if not 0.0 <= self.channel_loss_rate < 1.0:
-            raise ValueError("channel_loss_rate must be in [0, 1)")
+            raise ConfigError(
+                f"channel_loss_rate must be in [0, 1), got {self.channel_loss_rate!r}"
+            )
+        if (
+            self.invariant_check_interval is not None
+            and self.invariant_check_interval <= 0
+        ):
+            raise ConfigError(
+                "invariant_check_interval must be positive (or None), got "
+                f"{self.invariant_check_interval!r}"
+            )
 
     # ------------------------------------------------------------------
     # derived values

@@ -8,6 +8,7 @@ multiprocessing pool — every run is an isolated World, so this is safe.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -73,6 +74,13 @@ def run_single(
     if world.attacker is not None:
         extras["replays_sent"] = float(world.attacker.stats.replays_sent)
         extras["frames_sniffed"] = float(world.attacker.stats.frames_sniffed)
+    if world.fault_injector is not None:
+        extras["frames_fault_dropped"] = float(stats.frames_fault_dropped)
+        fault_stats = world.fault_injector.stats
+        for f in dataclasses.fields(fault_stats):
+            extras[f"fault_{f.name}"] = float(getattr(fault_stats, f.name))
+    if world.invariant_checker is not None:
+        extras["invariant_checks_run"] = float(world.invariant_checker.checks_run)
     for name, value in sorted(world.protocol_stat_totals().items()):
         extras[f"stats_{name}"] = float(value)
     drop_breakdown: Optional[Dict[str, int]] = None

@@ -229,18 +229,36 @@ class ResultStore:
     def get_record(self, key: RunKey) -> Optional[Dict[str, Any]]:
         """The raw record for ``key``; None if absent, unreadable, or from
         an incompatible schema version (such records are re-run, never
-        mis-parsed)."""
+        mis-parsed).
+
+        A record that exists but cannot be parsed (truncated write on a
+        crashed filesystem, manual tampering) is *quarantined* — renamed to
+        ``<name>.json.corrupt`` so the evidence survives for forensics
+        while ``has()`` turns False and the next ``--resume`` re-executes
+        the run instead of failing on it forever."""
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(path)
             return None
         if not isinstance(record, dict):
+            self._quarantine(path)
             return None
         if record.get("schema") != SCHEMA_VERSION:
             return None
         return record
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt record aside (``.corrupt`` suffix keeps it out of
+        ``iter_keys``'s ``*.json`` glob); best-effort, never raises."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
 
     def _base_record(self, key: RunKey, kind: str) -> Dict[str, Any]:
         return {

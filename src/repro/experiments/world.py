@@ -20,10 +20,12 @@ from repro.core.attacks import InterAreaInterceptor, IntraAreaBlocker, RoadsideA
 from repro.core.vulnerability import VulnerabilityModel
 from repro.experiments.config import AttackKind, ExperimentConfig, WorkloadKind
 from repro.experiments.metrics import PacketOutcome, RunMetrics
+from repro.faults.injector import FaultInjector
 from repro.geo.areas import CircularArea, DestinationArea, RectangularArea
 from repro.geo.position import Position
 from repro.geonet.node import GeoNode, StaticMobility, VehicleMobility, ledger_kind
 from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.observability.invariants import InvariantChecker
 from repro.observability.ledger import PacketLedger, reasons
 from repro.radio.channel import BroadcastChannel
 from repro.security.ca import CertificateAuthority
@@ -67,6 +69,20 @@ class World:
         )
         if ledger is not None:
             self.channel.on_unicast_lost.append(self._on_unicast_lost)
+
+        # --- fault injection ----------------------------------------------
+        # Built before any node exists so adoption covers the prepopulated
+        # fleet.  A zero plan constructs nothing: no hooks, no RNG streams,
+        # bit-identical to a plan-less run (golden-tested).
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None and not config.faults.is_zero:
+            self.fault_injector = FaultInjector(
+                config.faults,
+                sim=self.sim,
+                streams=self.streams,
+                channel=self.channel,
+                ledger=ledger,
+            )
 
         # --- road traffic ------------------------------------------------
         road_cfg = config.road
@@ -141,6 +157,19 @@ class World:
         self._outcomes: Dict[PacketId, PacketOutcome] = {}
         self._snapshots: Dict[PacketId, frozenset] = {}
         self._started = False
+        self.invariant_checker: Optional[InvariantChecker] = None
+        if config.invariant_check_interval is not None:
+            self.invariant_checker = InvariantChecker(
+                self.sim,
+                iter_nodes=lambda: list(self.nodes.values()) + self.dest_nodes,
+                channel=self.channel,
+                ledger=ledger,
+            )
+            every(
+                self.sim,
+                config.invariant_check_interval,
+                self.invariant_checker.run,
+            )
         if build_workload is not None:
             build_workload(self)
         else:
@@ -172,11 +201,17 @@ class World:
         node.router.on_deliver.append(self._on_deliver)
         self.nodes[vehicle.vehicle_id] = node
         self.node_by_addr[node.address] = node
+        if self.fault_injector is not None:
+            # Vehicles only: destinations are surveyed roadside units
+            # (no GPS error) on wired power (no churn).
+            self.fault_injector.adopt(node)
 
     def _detach_node(self, vehicle: Vehicle) -> None:
         node = self.nodes.pop(vehicle.vehicle_id, None)
         if node is not None:
             self.node_by_addr.pop(node.address, None)
+            if self.fault_injector is not None:
+                self.fault_injector.release(node)
             self._detached_stats.update(node_stat_counters(node))
             node.shutdown()
 
@@ -241,7 +276,7 @@ class World:
         pairs = []
         for vehicle in self.traffic.vehicles(on_road_only=True):
             node = self.nodes.get(vehicle.vehicle_id)
-            if node is not None and not node.is_shut_down:
+            if node is not None and not node.is_shut_down and not node.is_down:
                 pairs.append((vehicle, node))
         return pairs
 
@@ -337,12 +372,22 @@ class World:
         kind = ledger_kind(frame.payload)
         if kind is None or self.ledger is None:
             return
+        if why == "faulted":
+            reason = reasons.FAULTED_LINK_LOSS
+        elif self.fault_injector is not None and self.fault_injector.is_down_addr(
+            frame.dest_addr
+        ):
+            # The addressee's radio is powered off: the frame was doomed by
+            # churn, not by a geographic-routing failure.
+            reason = reasons.NODE_DOWN
+        else:
+            reason = reasons.UNREACHABLE_NEXT_HOP
         self.ledger.dropped(
             kind,
             frame.payload.packet_id,
             self.sim.now,
             frame.sender_addr,
-            reasons.UNREACHABLE_NEXT_HOP,
+            reason,
             detail=f"{why}:dest={frame.dest_addr}",
         )
 

@@ -10,8 +10,9 @@ position).
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.errors import ConfigError
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 
@@ -31,23 +32,41 @@ class BeaconService:
         *,
         period: float = 3.0,
         jitter: float = 0.75,
+        extra_jitter: Optional[Callable[[], float]] = None,
     ):
-        if period <= 0 or jitter < 0:
-            raise ValueError("invalid beacon timing")
+        if period <= 0:
+            raise ConfigError(f"beacon period must be positive, got {period!r}")
+        if jitter < 0:
+            raise ConfigError(f"beacon jitter must be non-negative, got {jitter!r}")
         self._rng = rng
         self._jitter = jitter
+        #: Fault-injection hook adding extra seconds to each cycle's delay
+        #: (congested-DCC model).  Read at draw time, so it can be installed
+        #: or swapped mid-run; None adds nothing.
+        self.extra_jitter = extra_jitter
         self.beacons_sent = 0
 
         def _tick() -> None:
             send_beacon()
             self.beacons_sent += 1
 
+        def _draw_jitter() -> float:
+            # The base draw happens exactly when (and only when) the
+            # pre-fault implementation drew it, so a run without the hook
+            # consumes the identical RNG sequence — and adding the hook's
+            # 0.0 when it is unset leaves every delay bit-identical.
+            delay = self._rng.uniform(0, self._jitter) if self._jitter > 0 else 0.0
+            extra = self.extra_jitter
+            if extra is not None:
+                delay += extra()
+            return delay
+
         self._process = PeriodicProcess(
             sim,
             period,
             _tick,
             start_delay=rng.uniform(0, period),
-            jitter=(lambda: self._rng.uniform(0, self._jitter)) if jitter else None,
+            jitter=_draw_jitter,
         )
 
     def stop(self) -> None:

@@ -298,10 +298,27 @@ class CbfForwarder:
             )
 
     # ------------------------------------------------------------------
-    # teardown
+    # teardown / power state
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
         """Cancel all contention timers (node leaving the simulation)."""
         for buffered in self._buffers.values():
             buffered.timer.cancel()
         self._buffers.clear()
+
+    def power_off(self) -> None:
+        """Fault-injected outage: contending copies die with the power.
+
+        Unlike :meth:`shutdown` the copies are accounted ``node-down`` —
+        a rebooting node re-enters the network, so these losses must stay
+        attributable.  Stats survive for the run's aggregate totals.
+        """
+        for buffered in self._buffers.values():
+            buffered.timer.cancel()
+            self._ledger_drop(buffered.packet, reasons.NODE_DOWN)
+        self._buffers.clear()
+
+    def reset_state(self, now: float) -> None:
+        """Reboot: duplicate-detection memory is volatile RAM — wipe it."""
+        self._done.clear()
+        self._next_done_sweep = now + _DONE_SWEEP_INTERVAL

@@ -5,11 +5,17 @@ with 0.75 s jitter, 20 s location-table TTL, CBF timers of 1–100 ms, and a
 default hop limit of 10.  ``dist_max`` (CBF's DIST_MAX) is the theoretical
 maximum range of the access technology and is set per experiment from
 Table II.
+
+Validation raises :class:`~repro.errors.ConfigError` (a ``ValueError``)
+naming the offending field, so a nonsensical value fails at construction
+time instead of deep inside a run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -66,26 +72,54 @@ class GeoNetConfig:
     rhl_drop_threshold: int = 3
 
     def __post_init__(self):
-        if self.beacon_period <= 0 or self.beacon_jitter < 0:
-            raise ValueError("invalid beacon timing")
+        if self.beacon_period <= 0:
+            raise ConfigError(
+                f"beacon_period must be positive, got {self.beacon_period!r}"
+            )
+        if self.beacon_jitter < 0:
+            raise ConfigError(
+                f"beacon_jitter must be non-negative, got {self.beacon_jitter!r}"
+            )
+        if self.beacon_freshness_window <= 0:
+            raise ConfigError(
+                "beacon_freshness_window must be positive, got "
+                f"{self.beacon_freshness_window!r}"
+            )
         if self.loct_ttl <= 0:
-            raise ValueError("loct_ttl must be positive")
+            raise ConfigError(f"loct_ttl must be positive, got {self.loct_ttl!r}")
         if not (0 < self.to_min < self.to_max):
-            raise ValueError("need 0 < to_min < to_max")
+            raise ConfigError(
+                "to_min/to_max must satisfy 0 < to_min < to_max, got "
+                f"to_min={self.to_min!r} to_max={self.to_max!r}"
+            )
         if self.cbf_timer_jitter < 0:
-            raise ValueError("cbf_timer_jitter must be non-negative")
+            raise ConfigError(
+                "cbf_timer_jitter must be non-negative, got "
+                f"{self.cbf_timer_jitter!r}"
+            )
         if self.dist_max <= 0:
-            raise ValueError("dist_max must be positive")
+            raise ConfigError(f"dist_max must be positive, got {self.dist_max!r}")
         if self.default_rhl < 1:
-            raise ValueError("default_rhl must be >= 1")
+            raise ConfigError(f"default_rhl must be >= 1, got {self.default_rhl!r}")
         if self.default_lifetime <= 0:
-            raise ValueError("default_lifetime must be positive")
+            raise ConfigError(
+                f"default_lifetime must be positive, got {self.default_lifetime!r}"
+            )
         if self.plausibility_threshold <= 0:
-            raise ValueError("plausibility_threshold must be positive")
+            raise ConfigError(
+                "plausibility_threshold must be positive, got "
+                f"{self.plausibility_threshold!r}"
+            )
         if self.rhl_drop_threshold < 1:
-            raise ValueError("rhl_drop_threshold must be >= 1")
+            raise ConfigError(
+                "rhl_drop_threshold must be >= 1, got "
+                f"{self.rhl_drop_threshold!r}"
+            )
         if self.gf_recheck_interval <= 0:
-            raise ValueError("gf_recheck_interval must be positive")
+            raise ConfigError(
+                "gf_recheck_interval must be positive, got "
+                f"{self.gf_recheck_interval!r}"
+            )
 
     def with_mitigations(
         self,

@@ -420,3 +420,39 @@ class UnicastService:
         for handle in self._rechecks:
             handle.cancel()
         self._rechecks.clear()
+
+    def power_off(self) -> None:
+        """Fault-injected outage: resolutions and parked packets die.
+
+        Buffered GUC bodies awaiting a Location Service answer and packets
+        parked in the no-progress recheck loop are accounted ``node-down``
+        so the ledger's conservation invariant survives churn.
+        """
+        now = self.node.sim.now
+        ledger = self.router.ledger
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+            self.stats.guc_drops += len(pending.buffered)
+            if ledger is not None:
+                for body in pending.buffered:
+                    ledger.dropped(
+                        "guc",
+                        body.packet_id,
+                        now,
+                        self.node.address,
+                        reasons.NODE_DOWN,
+                        detail=f"target={pending.target_addr}",
+                    )
+        self._pending.clear()
+        for handle in self._rechecks:
+            if not handle.cancelled and handle.time > now and handle.args:
+                self._ledger_drop(handle.args[0], now, reasons.NODE_DOWN)
+            handle.cancel()
+        self._rechecks.clear()
+
+    def reset_state(self, now: float) -> None:
+        """Reboot: duplicate filters and delivery dedup are volatile RAM."""
+        self._ls_seen.clear()
+        self._delivered.clear()
+        self._next_sweep = now + _SWEEP_INTERVAL

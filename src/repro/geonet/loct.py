@@ -108,6 +108,12 @@ class LocationTable:
         """Drop the entry for ``addr`` if present."""
         self._entries.pop(addr, None)
 
+    def clear(self, now: Optional[float] = None) -> None:
+        """Wipe every entry (node reboot); resets the purge clock."""
+        self._entries.clear()
+        if now is not None:
+            self._next_purge_at = now + self.purge_interval
+
     def live_entries(self, now: float) -> Iterator[LocationTableEntry]:
         """Iterate non-expired entries."""
         for entry in self._entries.values():

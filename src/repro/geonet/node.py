@@ -9,7 +9,7 @@ CA-issued credentials; every message they emit is signed.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.geo.areas import DestinationArea
 from repro.geo.position import Position, PositionVector
@@ -18,6 +18,7 @@ from repro.geonet.config import GeoNetConfig
 from repro.geonet.packets import BeaconBody, GeoBroadcastPacket, PacketId
 from repro.geonet.router import GeoRouter
 from repro.geonet.unicast import GeoUnicastPacket
+from repro.observability.ledger import reasons
 from repro.radio.channel import BroadcastChannel, RadioInterface
 from repro.radio.frames import Frame, FrameKind
 from repro.security.certificates import Credentials
@@ -91,6 +92,17 @@ class GeoNode:
         self.mobility = mobility
         self.name = name
         self._shut_down = False
+        #: Powered off by a fault-injected outage (distinct from the
+        #: permanent ``_shut_down``): the radio leaves the channel and every
+        #: protocol timer dies, but the node can :meth:`come_up` later.
+        self._down = False
+        #: Fault-injection hooks (installed by
+        #: :class:`~repro.faults.injector.FaultInjector`; None costs
+        #: nothing).  ``pv_fault`` perturbs the PV advertised in beacons —
+        #: never the true mobility; ``beacon_extra_jitter`` delays beacon
+        #: cycles further.
+        self.pv_fault: Optional[Callable[[PositionVector], PositionVector]] = None
+        self.beacon_extra_jitter: Optional[Callable[[], float]] = None
         #: Optional :class:`~repro.observability.PacketLedger`; must be set
         #: before the router is built so every service can capture it.
         self.ledger = ledger
@@ -101,16 +113,11 @@ class GeoNode:
         self.router = GeoRouter(self)
         self.iface.attach(self._on_frame)
         self.beacon_service: Optional[BeaconService] = None
+        self._beaconing = beaconing
         if beaconing:
             if rng is None:
                 raise ValueError("beaconing requires an rng for jitter")
-            self.beacon_service = BeaconService(
-                sim,
-                self.send_beacon,
-                rng,
-                period=config.beacon_period,
-                jitter=config.beacon_jitter,
-            )
+            self.beacon_service = self._make_beacon_service()
         # --- pseudonym rotation (privacy, paper §II) ----------------------
         # "A personal vehicle is allowed to use a pseudonym to hide its true
         # identity."  Rotation swaps the link-layer address; neighbors'
@@ -137,6 +144,21 @@ class GeoNode:
                 start_delay=pseudonym_period,
             )
 
+    def _make_beacon_service(self) -> BeaconService:
+        return BeaconService(
+            self.sim,
+            self.send_beacon,
+            self.rng,
+            period=self.config.beacon_period,
+            jitter=self.config.beacon_jitter,
+            extra_jitter=self._draw_beacon_extra_jitter,
+        )
+
+    def _draw_beacon_extra_jitter(self) -> float:
+        """Extra per-cycle beacon delay from the fault layer (0.0 unset)."""
+        hook = self.beacon_extra_jitter
+        return 0.0 if hook is None else hook()
+
     # ------------------------------------------------------------------
     # identity / state
     # ------------------------------------------------------------------
@@ -148,6 +170,11 @@ class GeoNode:
     @property
     def is_shut_down(self) -> bool:
         return self._shut_down
+
+    @property
+    def is_down(self) -> bool:
+        """Powered off by a fault-injected outage (may reboot later)."""
+        return self._down
 
     def position(self) -> Position:
         """The node's current position."""
@@ -161,10 +188,18 @@ class GeoNode:
     # transmission
     # ------------------------------------------------------------------
     def send_beacon(self) -> None:
-        """Sign and broadcast a beacon with the current PV."""
-        if self._shut_down:
+        """Sign and broadcast a beacon with the current PV.
+
+        The advertised PV passes through the fault layer's ``pv_fault``
+        transform (GPS error/drift) when one is installed; the node's true
+        mobility is never perturbed.
+        """
+        if self._shut_down or self._down:
             return
-        body = BeaconBody(source_addr=self.address, pv=self.position_vector())
+        pv = self.position_vector()
+        if self.pv_fault is not None:
+            pv = self.pv_fault(pv)
+        body = BeaconBody(source_addr=self.address, pv=pv)
         self.iface.send(FrameKind.BEACON, sign(body, self.credentials))
 
     def send_unicast(self, dest_addr: int, packet: GeoBroadcastPacket) -> None:
@@ -173,20 +208,20 @@ class GeoNode:
         No acknowledgement exists: if ``dest_addr`` is out of range the
         packet is silently lost (GF vulnerability #3).
         """
-        if self._shut_down:
+        if self._shut_down or self._down:
             self._ledger_swallowed(packet)
             return
         self.iface.send(FrameKind.GEO_UNICAST, packet, dest_addr=dest_addr)
 
     def send_broadcast(self, packet: GeoBroadcastPacket) -> None:
         """Link-layer broadcast of a CBF packet."""
-        if self._shut_down:
+        if self._shut_down or self._down:
             self._ledger_swallowed(packet)
             return
         self.iface.send(FrameKind.GEO_BROADCAST, packet)
 
     def _ledger_swallowed(self, packet) -> None:
-        """Account a copy a shut-down node could no longer transmit."""
+        """Account a copy a shut-down / powered-off node couldn't transmit."""
         if self.ledger is None:
             return
         kind = ledger_kind(packet)
@@ -197,7 +232,7 @@ class GeoNode:
                 self.sim.now,
                 self.address,
                 "swallowed",
-                detail="node-shut-down",
+                detail="node-down" if self._down else "node-shut-down",
             )
 
     def originate(
@@ -239,7 +274,7 @@ class GeoNode:
         """
         if self._pseudonym_pool is None:
             raise RuntimeError("node was created without a pseudonym pool")
-        if self._shut_down:
+        if self._shut_down or self._down:
             return self.address
         old_iface = self.iface
         new_iface = RadioInterface(
@@ -257,10 +292,61 @@ class GeoNode:
         return self.address
 
     # ------------------------------------------------------------------
+    # power state (fault injection)
+    # ------------------------------------------------------------------
+    def go_down(self) -> None:
+        """Power off mid-run (fault-injected outage).
+
+        The radio leaves the channel, beaconing stops, and every pending
+        protocol timer dies — buffered copies are accounted ``node-down``
+        in the ledger.  Stats counters survive (they feed the run's
+        aggregate totals).  :meth:`come_up` reverses this.
+        """
+        if self._shut_down or self._down:
+            return
+        self._down = True
+        if self.beacon_service is not None:
+            self.beacon_service.stop()
+            self.beacon_service = None
+        self.router.power_off()
+        self.channel.unregister(self.iface)
+
+    def come_up(self) -> None:
+        """Reboot after :meth:`go_down`.
+
+        The radio rejoins the channel and beaconing restarts, but volatile
+        router state — LocT, CBF duplicate memory, GUC resolution/dedup
+        maps — is wiped, exactly what a real OBU loses with its RAM.
+        """
+        if self._shut_down or not self._down:
+            return
+        self._down = False
+        self.router.power_on()
+        self.channel.register(self.iface)
+        if self._beaconing:
+            self.beacon_service = self._make_beacon_service()
+
+    # ------------------------------------------------------------------
     # reception / teardown
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
         if self._shut_down:
+            return
+        if self._down:
+            # In-flight deliveries scheduled before the outage land on a
+            # dead radio.  A unicast addressed to this node dies here for
+            # good; broadcast copies are redundant and not terminal.
+            if frame.dest_addr == self.address and self.ledger is not None:
+                kind = ledger_kind(frame.payload)
+                if kind is not None:
+                    self.ledger.dropped(
+                        kind,
+                        frame.payload.packet_id,
+                        self.sim.now,
+                        self.address,
+                        reasons.NODE_DOWN,
+                        detail="delivered-to-powered-off-radio",
+                    )
             return
         self.router.handle_frame(frame)
 

@@ -310,3 +310,27 @@ class GeoRouter:
         for handle in self._pending_rechecks:
             handle.cancel()
         self._pending_rechecks.clear()
+
+    # ------------------------------------------------------------------
+    # power state (fault injection)
+    # ------------------------------------------------------------------
+    def power_off(self) -> None:
+        """The node lost power: every timer dies and the copies they were
+        carrying are accounted ``node-down``.  Stats objects survive — the
+        run's aggregate totals read them after the node reboots."""
+        now = self.node.sim.now
+        self.cbf.power_off()
+        self.unicast.power_off()
+        for handle in self._pending_rechecks:
+            if not handle.cancelled and handle.time > now and handle.args:
+                self._ledger_drop(handle.args[0], now, reasons.NODE_DOWN)
+            handle.cancel()
+        self._pending_rechecks.clear()
+
+    def power_on(self) -> None:
+        """Reboot: volatile state (LocT, CBF duplicate memory, GUC maps)
+        is wiped; identity, credentials and counters persist."""
+        now = self.node.sim.now
+        self.loct.clear(now)
+        self.cbf.reset_state(now)
+        self.unicast.reset_state(now)

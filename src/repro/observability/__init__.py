@@ -12,6 +12,7 @@ events and never touches protocol state, so enabling it leaves seeded runs
 bit-identical (covered by golden tests).
 """
 
+from repro.observability.invariants import InvariantChecker, InvariantViolation
 from repro.observability.ledger import (
     DROP_REASONS,
     JourneyEvent,
@@ -23,6 +24,8 @@ from repro.observability.ledger import (
 
 __all__ = [
     "DROP_REASONS",
+    "InvariantChecker",
+    "InvariantViolation",
     "JourneyEvent",
     "OUTCOMES",
     "PacketLedger",

@@ -25,6 +25,13 @@ terminal outcome:
     the Location Service never resolved the destination's position;
 ``lifetime-expired``
     the packet's lifetime elapsed anywhere else on the path;
+``faulted-link-loss``
+    the fault-injection layer's link impairment (i.i.d. or Gilbert–Elliott
+    burst loss) ate the frame carrying the packet to its addressee;
+``node-down``
+    a fault-injected outage killed the node holding the packet (buffered
+    CBF copies, pending GF/GUC rechecks, LS resolutions) or the packet's
+    unicast addressee was powered off;
 ``in-flight-at-end``
     the run ended (or the carrying node shut down) with the packet still
     unresolved — the conservation bucket that keeps outcome counts summing
@@ -55,6 +62,8 @@ class reasons:
     EXPIRED_IN_BUFFER = "expired-in-buffer"
     LS_FAILURE = "ls-failure"
     LIFETIME_EXPIRED = "lifetime-expired"
+    FAULTED_LINK_LOSS = "faulted-link-loss"
+    NODE_DOWN = "node-down"
     IN_FLIGHT_AT_END = "in-flight-at-end"
 
 
@@ -67,6 +76,8 @@ DROP_REASONS: Tuple[str, ...] = (
     reasons.EXPIRED_IN_BUFFER,
     reasons.LS_FAILURE,
     reasons.LIFETIME_EXPIRED,
+    reasons.FAULTED_LINK_LOSS,
+    reasons.NODE_DOWN,
     reasons.IN_FLIGHT_AT_END,
 )
 

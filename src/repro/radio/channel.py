@@ -122,6 +122,9 @@ class ChannelStats:
     frames_sent: int = 0
     frames_delivered: int = 0
     frames_faded: int = 0
+    #: Receptions eaten by the fault-injection ``link_fault`` hook (distinct
+    #: from ``frames_faded``, the channel's own fading model).
+    frames_fault_dropped: int = 0
     unicast_lost: int = 0
     #: Candidate receivers examined across all transmits (the cost the
     #: spatial index shrinks from N per frame to ~k).
@@ -209,6 +212,15 @@ class BroadcastChannel:
         #: passive: the list is empty by default and callbacks must not
         #: mutate protocol state.
         self.on_unicast_lost: List[Callable[[Frame, str], None]] = []
+        #: Optional fault-injection predicate ``(sender, receiver, frame) ->
+        #: drop?`` consulted per candidate receiver after the fading draw.
+        #: None (the default) costs nothing on the hot path; installed by
+        #: :class:`~repro.faults.injector.FaultInjector` when the plan has
+        #: link impairments.  A dropped addressee fires ``on_unicast_lost``
+        #: with ``why="faulted"``.
+        self.link_fault: Optional[
+            Callable[[RadioInterface, RadioInterface, Frame], bool]
+        ] = None
 
     # ------------------------------------------------------------------
     # membership
@@ -373,6 +385,7 @@ class BroadcastChannel:
         rng_random = self._rng.random
         loss_rate = self.loss_rate
         loss_random = self._loss_rng.random
+        link_fault = self.link_fault
         schedule_fire = self._sim.schedule_fire
         for iface in receivers:
             if loss_rate > 0.0 and loss_random() < loss_rate:
@@ -381,6 +394,13 @@ class BroadcastChannel:
                 if dest_addr is not None and iface.address == dest_addr:
                     for hook in self.on_unicast_lost:
                         hook(frame, "faded")
+                continue
+            if link_fault is not None and link_fault(sender, iface, frame):
+                self.stats.frames_fault_dropped += 1
+                # An addressee eaten by the fault layer is the third one.
+                if dest_addr is not None and iface.address == dest_addr:
+                    for hook in self.on_unicast_lost:
+                        hook(frame, "faulted")
                 continue
             delivered += 1
             schedule_fire(base + jitter * rng_random(), iface.deliver, frame)

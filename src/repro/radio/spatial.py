@@ -119,6 +119,50 @@ class SpatialGrid:
         """Number of non-empty cells (empty buckets are reclaimed)."""
         return len(self._cells)
 
+    def check_consistency(self) -> None:
+        """Verify the two internal maps agree exactly; raise on any drift.
+
+        The properties checked are what churn (register/unregister mid-run)
+        must preserve: every indexed item sits in the bucket its cell map
+        names, every bucketed position hashes back to that cell, no bucket
+        is empty (reclamation), and no bucket holds an unindexed item.
+        O(n) — used by the runtime invariant checker and the churn tests.
+        """
+        for item, cell in self._cell_of.items():
+            bucket = self._cells.get(cell)
+            if bucket is None or item not in bucket:
+                raise ValueError(
+                    f"grid inconsistency: {item!r} is indexed in cell "
+                    f"{_unpack(cell)} but missing from its bucket"
+                )
+            x, y = bucket[item]
+            if self._key(x, y) != cell:
+                raise ValueError(
+                    f"grid inconsistency: {item!r} at ({x}, {y}) hashes to "
+                    f"cell {_unpack(self._key(x, y))} but is stored in "
+                    f"{_unpack(cell)} (stale cell entry)"
+                )
+        total = 0
+        for cell, bucket in self._cells.items():
+            if not bucket:
+                raise ValueError(
+                    f"grid inconsistency: cell {_unpack(cell)} has an empty "
+                    "bucket (should have been reclaimed)"
+                )
+            total += len(bucket)
+            for item in bucket:
+                if self._cell_of.get(item) != cell:
+                    raise ValueError(
+                        f"grid inconsistency: {item!r} sits in bucket "
+                        f"{_unpack(cell)} but the item index says "
+                        f"{self._cell_of.get(item)!r}"
+                    )
+        if total != len(self._cell_of):
+            raise ValueError(
+                f"grid inconsistency: buckets hold {total} items but the "
+                f"item index has {len(self._cell_of)}"
+            )
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -80,6 +80,16 @@ class EventHandle:
         """Whether :meth:`cancel` has been called."""
         return self._event.cancelled
 
+    @property
+    def args(self) -> tuple:
+        """The scheduled callback's arguments.
+
+        Lets the holder recover what a pending timer was about to act on —
+        e.g. a powered-off router ledgers the packet a cancelled recheck
+        was still carrying.
+        """
+        return self._event.args
+
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
         self._event.cancelled = True

@@ -89,6 +89,59 @@ def test_invalid_values_rejected():
         ExperimentConfig(duration=0)
 
 
+@pytest.mark.parametrize(
+    "build, message",
+    [
+        (lambda: RoadConfig(length=0.0), "road.length"),
+        (lambda: RoadConfig(lanes_per_direction=0), "road.lanes_per_direction"),
+        (lambda: RoadConfig(directions=3), "road.directions"),
+        (lambda: RoadConfig(inter_vehicle_space=-1.0), "road.inter_vehicle_space"),
+        (lambda: RoadConfig(entry_speed=0.0), "road.entry_speed"),
+        (lambda: AttackConfig(attack_range=-5.0), "attack.attack_range"),
+        (lambda: AttackConfig(reaction_delay=-0.1), "attack.reaction_delay"),
+        (lambda: AttackConfig(replay_range=0.0), "attack.replay_range"),
+        (lambda: WorkloadConfig(packet_interval=0.0), "workload.packet_interval"),
+        (lambda: WorkloadConfig(dest_offset=-1.0), "workload.dest_offset"),
+        (lambda: WorkloadConfig(dest_radius=0.0), "workload.dest_radius"),
+        (
+            lambda: WorkloadConfig(source_xmin=100.0, source_xmax=50.0),
+            "workload.source_xmax",
+        ),
+        (lambda: ExperimentConfig(duration=-1.0), "duration"),
+        (lambda: ExperimentConfig(bin_width=0.0), "bin_width"),
+        (lambda: ExperimentConfig(mobility_dt=0.0), "mobility_dt"),
+        (lambda: ExperimentConfig(channel_loss_rate=1.0), "channel_loss_rate"),
+        (
+            lambda: ExperimentConfig(invariant_check_interval=0.0),
+            "invariant_check_interval",
+        ),
+    ],
+)
+def test_validation_names_the_offending_field(build, message):
+    """Every rejection is a ConfigError whose text names the bad field."""
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match=message.replace(".", r"\.")):
+        build()
+
+
+def test_fault_plan_rides_in_the_config():
+    from repro.faults import FaultPlan
+
+    config = ExperimentConfig.inter_area_default()
+    assert config.faults.is_zero  # the default plan injects nothing
+    faulted = config.with_(faults=FaultPlan.lossy(0.05))
+    assert faulted.faults.link.loss_rate == 0.05
+    assert faulted != config
+
+
+def test_invariant_check_interval_defaults_off():
+    config = ExperimentConfig.inter_area_default()
+    assert config.invariant_check_interval is None
+    timed = config.with_(invariant_check_interval=2.0)
+    assert timed.invariant_check_interval == 2.0
+
+
 def test_configs_are_frozen():
     config = ExperimentConfig.inter_area_default()
     with pytest.raises(dataclasses.FrozenInstanceError):

@@ -130,6 +130,66 @@ def test_corrupt_record_treated_as_absent(tmp_path):
     assert store.get_run(key()) is None
 
 
+# ----------------------------------------------------------------------
+# quarantine of unparseable records
+# ----------------------------------------------------------------------
+def test_corrupt_record_is_quarantined_not_reread_forever(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    path = store.path_for(key())
+    path.write_text("{truncated")
+    assert store.get_record(key()) is None
+    # evidence preserved under <name>.json.corrupt, original gone
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert not path.exists()
+    assert quarantined.read_text() == "{truncated"
+    # the key now reads as absent everywhere: resume re-runs it
+    assert not store.has(key())
+    assert store.get_run(key()) is None
+    assert list(store.iter_keys()) == []
+
+
+def test_non_dict_record_is_quarantined(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    path = store.path_for(key())
+    path.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+    assert store.get_record(key()) is None
+    assert not path.exists()
+    assert path.with_name(path.name + ".corrupt").exists()
+
+
+def test_quarantined_key_is_rewritable(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    store.path_for(key()).write_text("garbage")
+    assert not store.has(key())
+    store.put_run(key(), sample_result())  # the re-run lands normally
+    assert store.has(key())
+    assert store.get_run(key()) == sample_result()
+
+
+def test_missing_file_is_not_quarantined(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get_record(key()) is None
+    parent = store.path_for(key()).parent
+    assert not parent.exists() or list(parent.iterdir()) == []
+
+
+def test_schema_mismatch_is_not_quarantined(tmp_path):
+    """An incompatible-but-valid record is evidence of a version skew, not
+    corruption: it stays in place (absent to readers) for inspection."""
+    store = ResultStore(tmp_path)
+    store.put_run(key(), sample_result())
+    path = store.path_for(key())
+    record = json.loads(path.read_text())
+    record["schema"] = 999
+    path.write_text(json.dumps(record))
+    assert store.get_record(key()) is None
+    assert path.exists()
+    assert not path.with_name(path.name + ".corrupt").exists()
+
+
 def test_write_is_atomic_no_temp_left_behind(tmp_path):
     store = ResultStore(tmp_path)
     store.put_run(key(), sample_result())
