@@ -263,6 +263,14 @@ def main(argv=None):
         help="single-rep short runs for the -m perf smoke test",
     )
     parser.add_argument(
+        "--ns",
+        default=None,
+        help=(
+            "comma-separated interface counts for the scaling sweep "
+            "(same flag as bench_fleet.py, e.g. --ns 500,5000,50000)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=str(Path(__file__).parent / "BENCH_channel.json"),
         help="output JSON path ('-' for stdout only)",
@@ -273,6 +281,8 @@ def main(argv=None):
     e2e_duration = 0.25 if args.quick else 1.0
     world_duration = 4.0 if args.quick else 20.0
     scaling_ns = (500, 1000) if args.quick else (500, 1000, 2000, 4000)
+    if args.ns:
+        scaling_ns = tuple(int(s) for s in args.ns.split(","))
     world_spacings = (30.0,) if args.quick else (20.0, 30.0, 60.0)
 
     report = {

@@ -18,6 +18,7 @@ pytestmark = pytest.mark.perf
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 HARNESS = Path(__file__).parent / "bench_channel.py"
+FLEET_HARNESS = Path(__file__).parent / "bench_fleet.py"
 
 
 def test_quick_harness_emits_valid_json_under_30s(tmp_path):
@@ -59,3 +60,63 @@ def test_quick_harness_emits_valid_json_under_30s(tmp_path):
     # grid and scan World runs must stay behaviorally identical
     for entry in report["world_runs"]["by_spacing"].values():
         assert entry["grid"]["frames_sent"] == entry["scan"]["frames_sent"]
+
+
+def test_quick_fleet_harness_emits_valid_json_under_60s(tmp_path):
+    out_path = tmp_path / "bench_fleet.json"
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, str(FLEET_HARNESS), "--quick", "--out", str(out_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+    )
+    elapsed = time.perf_counter() - t0
+    assert proc.returncode == 0, proc.stderr
+    assert elapsed < 60.0, f"--quick fleet harness took {elapsed:.1f}s"
+
+    report = json.loads(out_path.read_text())
+    assert report["meta"]["mode"] == "quick"
+    for section in (
+        "dense_fleet_microbenchmark",
+        "fleet_beacon_scaling",
+        "mobility_step_scaling",
+        "world_runs",
+        "world_scale_run",
+        "summary",
+    ):
+        assert section in report, f"missing section {section}"
+
+    dense = report["dense_fleet_microbenchmark"]
+    assert dense["fleet_batched"]["end_to_end_tx_per_s"] > 0
+    assert dense["channel_grid_live"]["end_to_end_tx_per_s"] > 0
+    # Budget keyed off the checked-in BENCH_channel.json grid capture:
+    # the measured ratio is ~6x on the reference machine; 2x leaves
+    # generous headroom for slower/noisier CI machines while still
+    # catching a batched path that regressed to per-object speed.
+    ref = report.get("dense_fleet_microbenchmark", {}).get(
+        "channel_grid_reference"
+    )
+    if ref is not None:
+        assert (
+            dense["fleet_batched"]["end_to_end_tx_per_s"]
+            >= 2.0 * ref["end_to_end_tx_per_s"]
+        ), "batched beacon loop lost its edge over the per-interface path"
+
+    for entry in report["fleet_beacon_scaling"]["by_n"].values():
+        assert entry["beacons_sent"] > 0
+        assert entry["end_to_end_tx_per_s"] > 0
+    for entry in report["mobility_step_scaling"]["by_n"].values():
+        assert entry["batched"]["n_vehicles"] == entry["legacy"]["n_vehicles"]
+        assert entry["batched"]["step_us"] > 0
+
+    # The batched World must source comparable traffic to the legacy one
+    # (outcome-equivalence; exact counts differ across jitter streams).
+    worlds = report["world_runs"]
+    legacy_sent = worlds["legacy"]["frames_sent"]
+    assert abs(worlds["batched"]["frames_sent"] - legacy_sent) / legacy_sent < 0.2
+    scale = report["world_scale_run"]
+    assert scale["n_nodes"] > 1000
+    assert scale["beacons_sent"] > 0

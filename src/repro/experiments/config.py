@@ -167,6 +167,16 @@ class ExperimentConfig:
     #: Use the grid-backed receiver lookup (False = linear-scan fallback,
     #: kept for A/B benchmarking and equivalence tests).
     channel_use_spatial_index: bool = True
+    #: Run vehicle beaconing/mobility through the struct-of-arrays fleet
+    #: (:mod:`repro.geonet.fleet`): one batched tick replaces N per-node
+    #: beacon timers and O(N) per-frame receiver scans.  False (default)
+    #: keeps the per-object path, bit-identical to the seed goldens; the
+    #: batched path is outcome-equivalent (same PDR/hop statistics within
+    #: sampling tolerance) but draws from its own ``fleet-beacon`` stream.
+    fleet_use_batched: bool = False
+    #: Batched beacon tick width (seconds); None uses ``mobility_dt``.
+    #: Only meaningful with ``fleet_use_batched=True``.
+    fleet_beacon_tick: Optional[float] = None
     #: Deterministic fault injection (link loss, churn, GPS error, beacon
     #: timing).  The default zero plan installs nothing and changes nothing
     #: — golden-verified bit-identity with a plan-less run.
@@ -198,6 +208,11 @@ class ExperimentConfig:
             raise ConfigError(
                 "invariant_check_interval must be positive (or None), got "
                 f"{self.invariant_check_interval!r}"
+            )
+        if self.fleet_beacon_tick is not None and self.fleet_beacon_tick <= 0:
+            raise ConfigError(
+                "fleet_beacon_tick must be positive (or None), got "
+                f"{self.fleet_beacon_tick!r}"
             )
 
     # ------------------------------------------------------------------

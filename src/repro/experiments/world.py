@@ -23,12 +23,14 @@ from repro.experiments.metrics import PacketOutcome, RunMetrics
 from repro.faults.injector import FaultInjector
 from repro.geo.areas import CircularArea, DestinationArea, RectangularArea
 from repro.geo.position import Position
+from repro.geonet.fleet import FleetBeaconScheduler, FleetState
 from repro.geonet.node import GeoNode, StaticMobility, VehicleMobility, ledger_kind
-from repro.geonet.packets import GeoBroadcastPacket, PacketId
+from repro.geonet.packets import BeaconBody, GeoBroadcastPacket, PacketId
 from repro.observability.invariants import InvariantChecker
 from repro.observability.ledger import PacketLedger, reasons
 from repro.radio.channel import BroadcastChannel
 from repro.security.ca import CertificateAuthority
+from repro.security.signing import sign, verify
 from repro.sim.engine import Simulator
 from repro.sim.process import every
 from repro.sim.random import RandomStreams
@@ -102,6 +104,16 @@ class World:
             if road_cfg.spawn
             else None
         )
+        # --- batched fleet (fleet_use_batched) -----------------------------
+        # Built before the traffic so the spawn callbacks can claim slots.
+        # On this path vehicles carry no per-node BeaconService: one
+        # FleetBeaconScheduler tick beacons for everybody, and the mobility
+        # loop pushes positions into the channel grid in bulk instead of
+        # invalidating the whole cache.
+        self.fleet: Optional[FleetState] = None
+        self.fleet_scheduler: Optional[FleetBeaconScheduler] = None
+        if config.fleet_use_batched:
+            self.fleet = FleetState(self.channel)
         self.traffic = TrafficSimulation(
             self.road,
             IdmParameters(),
@@ -111,8 +123,41 @@ class World:
             # Keep radios alive past the segment for one LocT lifetime, so
             # exiting vehicles don't become phantom GF targets.
             runout=config.geonet.loct_ttl * 30.0,
+            fleet=self.fleet,
         )
-        self.traffic.on_step.append(lambda _now: self.channel.invalidate_positions())
+        if self.fleet is not None:
+            fleet = self.fleet
+            self.traffic.on_step.append(
+                lambda _now: fleet.push_positions_to_channel()
+            )
+            tick = (
+                config.mobility_dt
+                if config.fleet_beacon_tick is None
+                else config.fleet_beacon_tick
+            )
+            self.fleet_scheduler = FleetBeaconScheduler(
+                self.sim,
+                fleet,
+                self.channel,
+                self.streams.get_numpy("fleet-beacon"),
+                period=config.geonet.beacon_period,
+                jitter=config.geonet.beacon_jitter,
+                tick=tick,
+                make_beacon=self._make_fleet_beacon,
+                bulk_sink=self._fleet_beacon_sink,
+                member_active=lambda node: not (
+                    node.is_shut_down or node.is_down
+                ),
+                extra_delay=(
+                    (lambda node: node._draw_beacon_extra_jitter())
+                    if self.fault_injector is not None
+                    else None
+                ),
+            )
+        else:
+            self.traffic.on_step.append(
+                lambda _now: self.channel.invalidate_positions()
+            )
 
         # --- nodes --------------------------------------------------------
         self.nodes: Dict[int, GeoNode] = {}  # vehicle_id -> node
@@ -194,13 +239,28 @@ class World:
             credentials=self.ca.enroll(f"veh-{seq}"),
             mobility=VehicleMobility(vehicle),
             tx_range=self.config.vehicle_range,
+            # The per-node stream stays on both paths: CBF timer draws come
+            # from it, and keeping the allocation identical preserves the
+            # legacy path's bit-identity.
             rng=self.streams.get(f"beacon:{seq}"),
+            # Batched mode: the FleetBeaconScheduler beacons for everybody.
+            beaconing=self.fleet is None,
             name=f"veh-{seq}",
             ledger=self.ledger,
         )
         node.router.on_deliver.append(self._on_deliver)
         self.nodes[vehicle.vehicle_id] = node
         self.node_by_addr[node.address] = node
+        if self.fleet is not None:
+            vehicle.fleet_slot = self.fleet.add(
+                node,
+                node.iface,
+                x=vehicle.x,
+                y=vehicle.lane.y,
+                speed=vehicle.speed,
+                heading=vehicle.heading,
+                tx_range=self.config.vehicle_range,
+            )
         if self.fault_injector is not None:
             # Vehicles only: destinations are surveyed roadside units
             # (no GPS error) on wired power (no churn).
@@ -212,8 +272,46 @@ class World:
             self.node_by_addr.pop(node.address, None)
             if self.fault_injector is not None:
                 self.fault_injector.release(node)
+            if self.fleet is not None and vehicle.fleet_slot is not None:
+                # Before shutdown(): unmarking the still-registered radio
+                # keeps the channel's fleet/non-fleet sets consistent.
+                self.fleet.remove(vehicle.fleet_slot)
+                vehicle.fleet_slot = None
             self._detached_stats.update(node_stat_counters(node))
             node.shutdown()
+
+    # ------------------------------------------------------------------
+    # batched beaconing callbacks
+    # ------------------------------------------------------------------
+    def _make_fleet_beacon(self, node: GeoNode, pv, now: float):
+        """Build one due member's beacon for the batched tick.
+
+        Mirrors :meth:`GeoNode.send_beacon`: the advertised PV passes
+        through the fault layer's ``pv_fault`` transform, the body is
+        signed once — and verified immediately, memoizing the verdict so
+        no receiver pays for re-verification (the per-object path memoizes
+        on first reception instead; same single verify call per beacon).
+        """
+        if node.pv_fault is not None:
+            pv = node.pv_fault(pv)
+        payload = sign(
+            BeaconBody(source_addr=node.address, pv=pv), node.credentials
+        )
+        verify(payload)
+        return payload, (node.address, pv)
+
+    def _fleet_beacon_sink(self, node: GeoNode, batch, now: float) -> int:
+        """Deliver one receiver's beacon batch (fleet side of the tick).
+
+        A powered-off or shut-down radio hears nothing (its interface
+        would have left the channel on the per-object path); a live one
+        counts the whole batch as delivered — router-level rejection
+        (staleness) is not a channel event, exactly as with real frames.
+        """
+        if node.is_shut_down or node.is_down:
+            return 0
+        node.router.receive_beacons_bulk(batch, now)
+        return len(batch)
 
     def _build_destinations(self) -> None:
         y_center = self.road.total_width / 2

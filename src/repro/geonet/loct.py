@@ -97,6 +97,42 @@ class LocationTable:
             entry.is_neighbor = entry.is_neighbor or neighbor
         return entry
 
+    def update_many(
+        self,
+        pairs,
+        now: float,
+        *,
+        neighbor: bool = True,
+    ) -> None:
+        """Bulk :meth:`update`: insert/refresh ``(addr, pv)`` pairs.
+
+        Semantically equivalent to calling :meth:`update` once per pair —
+        including the opportunistic purge, which runs (at most once) before
+        the first insert exactly as it would on the single-entry path.  The
+        batched beacon delivery path hands a whole tick's worth of accepted
+        beacons to one call, so the purge check and attribute lookups are
+        paid once per batch instead of once per beacon.
+        """
+        self.maybe_purge(now)
+        entries = self._entries
+        ttl = self.ttl
+        expires_at = now + ttl
+        for addr, pv in pairs:
+            entry = entries.get(addr)
+            if entry is None:
+                entries[addr] = LocationTableEntry(
+                    addr=addr,
+                    pv=pv,
+                    updated_at=now,
+                    expires_at=expires_at,
+                    is_neighbor=neighbor,
+                )
+            else:
+                entry.pv = pv
+                entry.updated_at = now
+                entry.expires_at = expires_at
+                entry.is_neighbor = entry.is_neighbor or neighbor
+
     def get(self, addr: int, now: float) -> Optional[LocationTableEntry]:
         """The live entry for ``addr``, or None."""
         entry = self._entries.get(addr)

@@ -160,6 +160,28 @@ class GeoRouter:
         self.loct.update(body.source_addr, body.pv, now)
         self.stats.beacons_accepted += 1
 
+    def receive_beacons_bulk(self, entries, now: float) -> int:
+        """Batched-fleet fast path: accept a tick's worth of beacons.
+
+        ``entries`` are ``(addr, pv)`` pairs from one fleet beacon tick, so
+        they share a single timestamp; authenticity was established at
+        signing time (the scheduler verifies each signed beacon once, which
+        memoises the same :func:`verify` the per-frame path would hit), the
+        sweep never produces self pairs, and the freshness window is
+        checked once for the whole batch.  Returns how many were accepted.
+        Semantics match :meth:`_handle_beacon` for honest one-hop beacons;
+        replayed/forged beacons still arrive as real frames through it.
+        """
+        n = len(entries)
+        if n == 0:
+            return 0
+        if entries[0][1].age(now) > self.config.beacon_freshness_window:
+            self.stats.beacons_rejected_stale += n
+            return 0
+        self.loct.update_many(entries, now)
+        self.stats.beacons_accepted += n
+        return n
+
     def _handle_gbc_broadcast(self, packet: GeoBroadcastPacket) -> None:
         if not verify(packet.signed):
             self.stats.gbc_rejected_auth += 1

@@ -136,6 +136,11 @@ class ChannelStats:
         self.frames_sent += 1
         self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
 
+    def record_sent_batch(self, kind: FrameKind, count: int) -> None:
+        """Batch counterpart of :meth:`record_sent` (batched beacon tick)."""
+        self.frames_sent += count
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + count
+
     def record_delivered(self, kind: FrameKind, count: int) -> None:
         self.frames_delivered += count
         self.delivered_by_kind[kind] = self.delivered_by_kind.get(kind, 0) + count
@@ -193,6 +198,18 @@ class BroadcastChannel:
         #: Heap of (end_time, x, y, range) of in-flight transmissions, for
         #: carrier sense; expired entries are popped from the top lazily.
         self._active_tx: List[tuple] = []
+        #: Batched in-flight transmissions: ``(end_time, xs, ys, ranges)``
+        #: numpy triples noted by the fleet beacon tick (one entry per tick
+        #: instead of one heap push per sender).  Appended in increasing
+        #: end-time order, so expiry drops from the front.
+        self._active_tx_batches: List[tuple] = []
+        #: Addresses opted into the batched fleet path (their beacons are
+        #: generated by the fleet tick, so they are skipped when the tick
+        #: enumerates per-object receivers) and the registered interfaces
+        #: *not* in the fleet (static destinations, attacker masts) that
+        #: must keep receiving real frames.
+        self._fleet_addrs: set = set()
+        self._nonfleet: Dict[int, RadioInterface] = {}
         self._positions_dirty = True
         self._use_grid = use_spatial_index
         self._cell_size = cell_size
@@ -239,10 +256,17 @@ class BroadcastChannel:
             self._override_ranges[iface.address] = iface.link_range
             if iface.link_range > self._max_override:
                 self._max_override = iface.link_range
+        if iface.address not in self._fleet_addrs:
+            self._nonfleet[iface.address] = iface
         if self._grid is not None:
             pos = iface.get_position()
             self._grid.insert(iface._grid_item, pos.x, pos.y)
-        self._positions_dirty = True
+            # The grid is already exact: the new interface was inserted at
+            # its current position and nobody else moved since the last
+            # refresh, so no full lazy refresh is needed (churn-heavy runs
+            # used to pay an O(N) re-move per spawn here).
+        else:
+            self._positions_dirty = True
 
     def unregister(self, iface: RadioInterface) -> None:
         """Detach an interface (e.g. a vehicle leaving the road).
@@ -259,15 +283,19 @@ class BroadcastChannel:
         if last is not iface:
             self._interfaces[idx] = last
             self._index_of[last.address] = idx
-        if self._grid is not None and iface._grid_item in self._grid:
-            self._grid.remove(iface._grid_item)
+        self._nonfleet.pop(iface.address, None)
+        if self._grid is not None:
+            if iface._grid_item in self._grid:
+                self._grid.remove(iface._grid_item)
+            # Removal keeps the grid exact; see register().
+        else:
+            self._positions_dirty = True
         override = self._override_ranges.pop(iface.address, None)
         if override is not None and override >= self._max_override:
             self._max_override = max(
                 self._override_ranges.values(), default=0.0
             )
         iface.channel = None
-        self._positions_dirty = True
 
     @property
     def interfaces(self) -> tuple:
@@ -275,6 +303,66 @@ class BroadcastChannel:
         return tuple(
             sorted(self._interfaces, key=lambda iface: iface._reg_order)
         )
+
+    # ------------------------------------------------------------------
+    # batched-fleet integration
+    # ------------------------------------------------------------------
+    def mark_fleet(self, iface: RadioInterface) -> None:
+        """Opt ``iface`` into the batched fleet path.
+
+        Fleet members' beacons are generated and delivered by the fleet
+        tick (:mod:`repro.geonet.fleet`); marking keeps them out of the
+        non-fleet receiver set the tick enumerates for real-frame delivery.
+        The mark survives unregister/re-register cycles (power faults) and
+        is keyed by address, so it must be re-applied after a pseudonym
+        rotation (which swaps the address).
+        """
+        self._fleet_addrs.add(iface.address)
+        self._nonfleet.pop(iface.address, None)
+
+    def unmark_fleet(self, iface: RadioInterface) -> None:
+        """Undo :meth:`mark_fleet` (fleet member removed for good)."""
+        self._fleet_addrs.discard(iface.address)
+        if iface.address in self._index_of:
+            self._nonfleet[iface.address] = iface
+
+    def nonfleet_interfaces(self) -> List[RadioInterface]:
+        """Registered interfaces outside the batched fleet, in registration
+        order (the delivery order the per-object path would use)."""
+        return sorted(self._nonfleet.values(), key=lambda i: i._reg_order)
+
+    def note_tx_batch(self, end_time: float, xs, ys, ranges) -> None:
+        """Record a whole tick of fleet transmissions for carrier sense.
+
+        One entry replaces the per-sender ``_active_tx`` heap pushes; the
+        position/range arrays are checked vectorised in
+        :meth:`medium_busy`.  Ticks are appended in increasing end-time
+        order, so expiry pops from the front.
+        """
+        self._active_tx_batches.append((end_time, xs, ys, ranges))
+
+    def update_fleet_positions(self, items, xs, ys) -> None:
+        """Bulk grid refresh for fleet interfaces from the SoA arrays.
+
+        Replaces :meth:`invalidate_positions` in batched mode: instead of
+        marking everything stale (and re-reading every ``get_position()``
+        on the next query), the fleet's positions are pushed straight into
+        the grid with :meth:`SpatialGrid.move_many`.  Non-fleet interfaces
+        (static destinations, masts) never move, so their cached positions
+        stay exact.  Falls back to the lazy full refresh whenever the cache
+        is already stale or an item is missing from the grid (a powered-off
+        radio mid-outage).
+        """
+        if not self._use_grid or self._grid is None or self._positions_dirty:
+            self._positions_dirty = True
+            return
+        try:
+            self._grid.move_many(items, xs, ys)
+        except KeyError:
+            # Partial application is harmless — every position written so
+            # far was the item's true current position; the full refresh
+            # re-reads the rest.
+            self._positions_dirty = True
 
     def add_obstruction(
         self, blocks: Callable[[Position, Position], bool]
@@ -499,6 +587,14 @@ class BroadcastChannel:
             dx = position.x - x
             dy = position.y - y
             if dx * dx + dy * dy <= tx_range * tx_range:
+                return True
+        batches = self._active_tx_batches
+        while batches and batches[0][0] <= now:
+            batches.pop(0)
+        for _end, xs, ys, ranges in batches:
+            dx = xs - position.x
+            dy = ys - position.y
+            if bool(((dx * dx + dy * dy) <= ranges * ranges).any()):
                 return True
         return False
 

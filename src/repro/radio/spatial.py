@@ -28,6 +28,8 @@ from __future__ import annotations
 from math import floor
 from typing import Dict, Hashable, List, Tuple
 
+import numpy as np
+
 #: Cell keys are the two lattice coordinates packed into one int
 #: (``(cx << 32) ^ (cy & 0xFFFFFFFF)``): hashing an int is cheaper than
 #: building and hashing a tuple on every probe of the query hot loop.
@@ -95,6 +97,46 @@ class SpatialGrid:
         if bucket is None:
             bucket = self._cells[cell] = {}
         bucket[item] = (x, y)
+
+    def move_many(self, items, xs, ys) -> int:
+        """Bulk :meth:`move`: update ``items[i]`` to ``(xs[i], ys[i])``.
+
+        ``xs``/``ys`` are numpy float arrays; the cell keys for the whole
+        batch are computed in one vectorised pass, so the per-item Python
+        work reduces to a dict store (and a re-bucket only for the few
+        items that actually crossed a cell boundary — vehicles advance a
+        few metres per step through cells hundreds of metres wide).
+
+        Returns the number of items re-bucketed.  Equivalent to calling
+        :meth:`move` once per item.
+        """
+        inv = self._inv
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        # floor before the int cast: astype truncates toward zero, which
+        # differs from math.floor for negative coordinates.
+        cxs = np.floor(xs * inv).astype(np.int64)
+        cys = np.floor(ys * inv).astype(np.int64)
+        keys = ((cxs << 32) ^ (cys & _CY_MASK)).tolist()
+        cells = self._cells
+        cell_of = self._cell_of
+        moved = 0
+        for item, key, x, y in zip(items, keys, xs.tolist(), ys.tolist()):
+            old_cell = cell_of[item]
+            if key == old_cell:
+                cells[old_cell][item] = (x, y)
+                continue
+            moved += 1
+            old_bucket = cells[old_cell]
+            del old_bucket[item]
+            if not old_bucket:
+                del cells[old_cell]
+            cell_of[item] = key
+            bucket = cells.get(key)
+            if bucket is None:
+                bucket = cells[key] = {}
+            bucket[item] = (x, y)
+        return moved
 
     def remove(self, item: Hashable) -> None:
         """Drop ``item`` from the index."""

@@ -43,6 +43,7 @@ class TrafficSimulation:
         speed_factor_spread: float = 0.03,
         runout: float = 0.0,
         neighbor_cell_size: float = NEIGHBOR_CELL_SIZE,
+        fleet=None,
     ):
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -85,6 +86,14 @@ class TrafficSimulation:
         #: lazily, only when a query arrives after a step moved vehicles.
         self._grid = SpatialGrid(neighbor_cell_size)
         self._grid_dirty = False
+        #: Optional :class:`~repro.geonet.fleet.FleetState`: when set, each
+        #: lane step also writes the new kinematics into the fleet's arrays
+        #: with one fancy-indexed store per lane (the batched networking
+        #: path reads positions from there instead of per-vehicle attrs).
+        self._fleet = fleet
+        #: lane index -> slot ndarray aligned with the lane's vehicle list;
+        #: rebuilt lazily when the lane's membership changes.
+        self._fleet_slots: Dict[int, Optional[np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # population
@@ -95,6 +104,7 @@ class TrafficSimulation:
         lane_vehicles.append(vehicle)
         lane_vehicles.sort(key=lambda v: v.progress)
         self._grid.insert(vehicle, vehicle.x, vehicle.lane.y)
+        self._fleet_slots.pop(vehicle.lane.index, None)
         for callback in self.on_spawn:
             callback(vehicle)
 
@@ -142,6 +152,7 @@ class TrafficSimulation:
                 created += 1
         for lane_vehicles in self._lanes.values():
             lane_vehicles.sort(key=lambda v: v.progress)
+        self._fleet_slots.clear()
         for lane_vehicles in self._lanes.values():
             for vehicle in lane_vehicles:
                 for callback in self.on_spawn:
@@ -321,13 +332,44 @@ class TrafficSimulation:
                 self.rear_end_contacts += 1
                 new_progress[i] = limit
                 new_speeds[i] = min(new_speeds[i], new_speeds[i + 1])
+        if lane.direction is Direction.EAST:
+            new_x = new_progress
+        else:
+            new_x = self.road.length - new_progress
         for i, vehicle in enumerate(lane_vehicles):
             vehicle.speed = float(new_speeds[i])
-            vehicle.x = (
-                float(new_progress[i])
-                if lane.direction is Direction.EAST
-                else self.road.length - float(new_progress[i])
+            vehicle.x = float(new_x[i])
+        if self._fleet is not None:
+            slots = self._fleet_lane_slots(lane.index, lane_vehicles)
+            if slots is not None:
+                self._fleet.x[slots] = new_x
+                self._fleet.speed[slots] = new_speeds
+
+    def _fleet_lane_slots(
+        self, lane_index: int, lane_vehicles: List[Vehicle]
+    ) -> Optional[np.ndarray]:
+        """The lane's fleet slots, aligned with its sorted vehicle list.
+
+        Rebuilt only when the lane's membership changes (spawn/retire/
+        explicit add invalidate the cache); within a step the lane order is
+        stable, since IDM followers never pass their leader.  Returns None
+        while any vehicle has no slot yet — its spawn callback assigns one
+        before the next step, so that state is transient.
+        """
+        try:
+            return self._fleet_slots[lane_index]
+        except KeyError:
+            pass
+        try:
+            slots = np.fromiter(
+                (v.fleet_slot for v in lane_vehicles),
+                dtype=np.intp,
+                count=len(lane_vehicles),
             )
+        except TypeError:
+            slots = None
+        self._fleet_slots[lane_index] = slots
+        return slots
 
     def _retire_exited(self) -> None:
         retire_at = self.road.length + self.runout
@@ -337,6 +379,7 @@ class TrafficSimulation:
                 vehicle = lane_vehicles.pop()
                 vehicle.active = False
                 self._grid.remove(vehicle)
+                self._fleet_slots.pop(lane.index, None)
                 for callback in self.on_exit:
                     callback(vehicle)
 
@@ -357,6 +400,7 @@ class TrafficSimulation:
                 )
                 lane_vehicles.insert(0, vehicle)
                 self._grid.insert(vehicle, vehicle.x, vehicle.lane.y)
+                self._fleet_slots.pop(lane.index, None)
                 self.spawner.spawned_count += 1
                 for callback in self.on_spawn:
                     callback(vehicle)

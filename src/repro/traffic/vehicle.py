@@ -41,6 +41,9 @@ class Vehicle:
     #: When set, the vehicle ignores IDM and applies this fixed acceleration
     #: (used by the road-safety curve scenario's prescribed speed profiles).
     forced_acceleration: Optional[float] = None
+    #: Slot in the struct-of-arrays :class:`~repro.geonet.fleet.FleetState`
+    #: when the batched networking path is on; None on the per-object path.
+    fleet_slot: Optional[int] = None
 
     def __post_init__(self):
         if self.speed < 0:

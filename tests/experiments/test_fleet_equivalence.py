@@ -1,0 +1,121 @@
+"""A/B contract of the batched fleet path (``fleet_use_batched``).
+
+Two-sided contract, mirroring the spatial-index knob's:
+
+* ``fleet_use_batched=False`` (the default) is *bit-identical* to the
+  pre-refactor seed goldens — the batched machinery must be invisible
+  until opted into (its RNG stream is never touched on the legacy path).
+* ``fleet_use_batched=True`` is *outcome-equivalent*: same traffic, same
+  workload, same attack geometry, statistically indistinguishable beacon
+  coverage — so PDR, frame counts and the ledger's drop breakdown agree
+  within sampling tolerance even though the beacon jitter draws come from
+  a different (numpy) stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+from repro.experiments.world import World
+from repro.observability.ledger import PacketLedger
+from tests.experiments._golden_capture import outcome_digest
+from tests.experiments.test_seed_equivalence import GOLDEN
+
+
+@pytest.mark.slow
+def test_legacy_knob_is_bit_identical_to_seed_golden():
+    """Explicitly passing the default knob must reproduce the golden digest
+    captured before the fleet refactor existed."""
+    config = ExperimentConfig.inter_area_default(duration=20.0, seed=7).with_(
+        fleet_use_batched=False
+    )
+    result = run_single(config, attacked=False)
+    expected = GOLDEN["inter-af"]
+    assert outcome_digest(result) == expected["digest"]
+    assert result.overall_rate == expected["overall_rate"]
+    assert int(result.extras["frames_sent"]) == expected["frames_sent"]
+    assert int(result.extras["frames_delivered"]) == expected["frames_delivered"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("attacked", [False, True])
+def test_batched_path_is_outcome_equivalent(attacked):
+    """Batched vs per-object on the fig-7 scenario: same packets sourced,
+    PDR within sampling tolerance, beacon/frame volumes within a few %."""
+    config = ExperimentConfig.inter_area_default(duration=20.0, seed=7)
+    results = {}
+    for batched in (False, True):
+        cfg = config.with_(fleet_use_batched=batched)
+        results[batched] = run_single(cfg, attacked=attacked)
+    legacy, batched = results[False], results[True]
+    # The workload stream is untouched by the fleet path: the exact same
+    # packets are sourced at the exact same times.
+    assert batched.n_packets == legacy.n_packets
+    # PDR: different beacon jitter realisations can flip individual
+    # packets; allow two of the 19 to differ.
+    assert abs(batched.overall_rate - legacy.overall_rate) <= 2.0 / 19.0 + 1e-9
+    # Beacon coverage: same fleet, same cadence contract, so accepted
+    # beacon counts agree within a few percent.
+    legacy_acc = legacy.extras["stats_router_beacons_accepted"]
+    batched_acc = batched.extras["stats_router_beacons_accepted"]
+    assert batched_acc > 0
+    assert abs(batched_acc - legacy_acc) / legacy_acc < 0.05
+    for key in ("frames_sent", "frames_delivered"):
+        assert abs(batched.extras[key] - legacy.extras[key]) / legacy.extras[
+            key
+        ] < 0.05
+
+
+@pytest.mark.slow
+def test_batched_attack_still_bites():
+    """The inter-area interception must degrade the batched PDR like the
+    per-object one: the mast sniffs real frames off the batched tick."""
+    config = ExperimentConfig.inter_area_default(duration=20.0, seed=7).with_(
+        fleet_use_batched=True
+    )
+    attack_free = run_single(config, attacked=False)
+    attacked = run_single(config, attacked=True)
+    assert attacked.extras["frames_sniffed"] > 0
+    assert attacked.extras["replays_sent"] > 0
+    assert attacked.overall_rate < attack_free.overall_rate - 0.15
+
+
+@pytest.mark.slow
+def test_batched_ledger_conservation():
+    """Drop-breakdown conservation on the batched path: every sourced
+    packet has exactly one terminal outcome in the ledger."""
+    config = ExperimentConfig.inter_area_default(duration=20.0, seed=7).with_(
+        fleet_use_batched=True
+    )
+    ledger = PacketLedger()
+    result = run_single(config, attacked=True, ledger=ledger)
+    assert result.drop_breakdown is not None
+    assert sum(result.drop_breakdown.values()) == result.n_packets
+    assert result.drop_breakdown.get("delivered", 0) == round(
+        result.overall_rate * result.n_packets
+    )
+
+
+def test_tiny_batched_world_smoke():
+    """Cheap non-slow sanity: a small batched world runs, beacons flow,
+    positions stay consistent under the runtime invariant checker."""
+    config = ExperimentConfig.inter_area_default(duration=6.0, seed=3).with_(
+        fleet_use_batched=True,
+        invariant_check_interval=1.0,
+    )
+    config = config.with_(
+        road=config.road.__class__(length=600.0, lanes_per_direction=1)
+    )
+    world = World(config, attacked=False)
+    world.run()
+    assert world.fleet is not None and len(world.fleet) > 0
+    assert world.fleet_scheduler is not None
+    assert world.fleet_scheduler.beacons_sent > 0
+    totals = world.protocol_stat_totals()
+    assert totals["router_beacons_accepted"] > 0
+    # The checker raises InvariantViolation on any inconsistency, so
+    # completed sweeps prove grid/LocT/queue consistency in batched mode.
+    assert world.invariant_checker is not None
+    assert world.invariant_checker.checks_run > 0

@@ -160,3 +160,52 @@ def test_custom_purge_interval():
     loct.update(1, pv(100), now=0.0)
     loct.update(2, pv(200), now=12.5)
     assert 1 not in loct
+
+
+# ----------------------------------------------------------------------
+# update_many (bulk refresh)
+# ----------------------------------------------------------------------
+def test_update_many_matches_repeated_update():
+    bulk = LocationTable(ttl=20.0)
+    single = LocationTable(ttl=20.0)
+    pairs = [(a, pv(100 + a, t=5.0)) for a in range(1, 30)]
+    bulk.update_many(pairs, now=5.0)
+    for addr, p in pairs:
+        single.update(addr, p, now=5.0)
+    assert len(bulk) == len(single)
+    for addr, _p in pairs:
+        be, se = bulk.get(addr, now=5.0), single.get(addr, now=5.0)
+        assert (be.pv, be.updated_at, be.expires_at, be.is_neighbor) == (
+            se.pv,
+            se.updated_at,
+            se.expires_at,
+            se.is_neighbor,
+        )
+
+
+def test_update_many_refreshes_existing_entries():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100, t=0.0), now=0.0)
+    loct.update_many([(1, pv(150, t=10.0)), (2, pv(200, t=10.0))], now=10.0)
+    entry = loct.get(1, now=10.0)
+    assert entry.position == Position(150, 0)
+    assert entry.expires_at == 30.0
+    assert loct.get(2, now=10.0) is not None
+
+
+def test_update_many_runs_opportunistic_purge():
+    """The bulk path keeps the PR 2 purge piggyback: one purge per batch."""
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100, t=0.0), now=0.0)  # expires at 20
+    # At t=50 the purge interval (one TTL) has long elapsed; the bulk
+    # update must physically drop the dead entry before inserting.
+    loct.update_many([(2, pv(200, t=50.0))], now=50.0)
+    assert 1 not in loct
+    assert 2 in loct
+
+
+def test_update_many_never_downgrades_neighbor_flag():
+    loct = LocationTable(ttl=20.0)
+    loct.update(1, pv(100, t=0.0), now=0.0, neighbor=True)
+    loct.update_many([(1, pv(120, t=1.0))], now=1.0, neighbor=False)
+    assert loct.get(1, now=1.0).is_neighbor is True
