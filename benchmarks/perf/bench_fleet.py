@@ -50,6 +50,7 @@ from repro.experiments.world import World
 from repro.geo.position import Position
 from repro.geonet.fleet import FleetBeaconScheduler, FleetState
 from repro.radio.channel import BroadcastChannel, RadioInterface
+from repro.radio.shadowing import ManhattanShadowing
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.traffic.idm import IdmParameters
@@ -105,18 +106,38 @@ def build_fleet(n: int, spacing: float):
     return sim, ch, fleet, members
 
 
-def bench_fleet_end_to_end(n, spacing, *, reps, duration):
+def make_shadowing(n, spacing):
+    """A Manhattan shadowing model spanning the benchmark lattice.
+
+    Street count tracks the lattice extent (~one vertical street per
+    10 columns) so the per-street corridor loops in ``blocks_many`` are
+    exercised at a realistic urban density, not a degenerate 2x2.
+    """
+    extent = min(250, n) * spacing
+    streets = max(2, int(extent // (10 * spacing)) + 1)
+    block = extent / (streets - 1)
+    return ManhattanShadowing.for_grid(
+        streets, streets, block, half_width=6.0, corner_clearance=15.0
+    )
+
+
+def bench_fleet_end_to_end(n, spacing, *, reps, duration, obstruction=None):
     """10 Hz beaconing through the batched tick + full event loop, tx/s.
 
     The fleet counterpart of ``bench_channel.bench_end_to_end``: same
     lattice, same cadence, same null payload/sink — but one tick event
     per dt instead of one timer event per member, and one vectorised
-    neighbor sweep per tick instead of N grid queries.
+    neighbor sweep per tick instead of N grid queries.  With
+    ``obstruction`` set, every delivery sweep additionally routes through
+    :meth:`BroadcastChannel.block_mask` — the vectorised obstruction
+    fallback the urban scenario pack leans on.
     """
     best = float("inf")
     sent = 0
     for _ in range(reps):
         sim, ch, fleet, _members = build_fleet(n, spacing)
+        if obstruction is not None:
+            ch.add_obstruction(obstruction)
         FleetBeaconScheduler(
             sim,
             fleet,
@@ -376,6 +397,24 @@ def main(argv=None):
             "end_to_end_tx_per_s",
         ),
     }
+    # Same scenario with a Manhattan shadowing model registered: the
+    # delivery sweep falls back to the vectorised block_mask path.  The
+    # urban scenario pack must not make beaconing under obstructions
+    # more than ~2x slower than the clear-channel batched loop (guarded
+    # by test_perf_smoke.py within the same run).
+    fleet_obstructed = bench_fleet_end_to_end(
+        500,
+        30.0,
+        reps=reps,
+        duration=e2e_duration,
+        obstruction=make_shadowing(500, 30.0),
+    )
+    dense["fleet_batched_obstructed"] = fleet_obstructed
+    dense["obstructed_slowdown"] = _speedup(
+        fleet_obstructed["end_to_end_tx_per_s"],
+        fleet_dense["end_to_end_tx_per_s"],
+        "end_to_end_tx_per_s",
+    )
     channel_ref = load_channel_grid_reference()
     if channel_ref is not None:
         dense["channel_grid_reference"] = {
@@ -453,6 +492,7 @@ def main(argv=None):
         "dense500_speedup_vs_channel_grid_reference": dense.get(
             "speedup_vs_channel_grid_reference"
         ),
+        "dense500_obstructed_slowdown": dense["obstructed_slowdown"],
     }
 
     payload = json.dumps(report, indent=2, sort_keys=False)

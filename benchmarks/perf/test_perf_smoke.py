@@ -105,6 +105,21 @@ def test_quick_fleet_harness_emits_valid_json_under_60s(tmp_path):
             >= 2.0 * ref["end_to_end_tx_per_s"]
         ), "batched beacon loop lost its edge over the per-interface path"
 
+    # Obstruction fallback guard: with a Manhattan shadowing model
+    # registered, every delivery sweep routes through the vectorised
+    # Channel.block_mask path.  Compared within the same run (machine
+    # drift cancels out), the obstructed dense-500 loop must keep at
+    # least half the clear-channel throughput — i.e. the urban scenario
+    # pack must not regress the BENCH_fleet.json dense-500 scenario by
+    # more than 2x.
+    obstructed = dense["fleet_batched_obstructed"]
+    assert obstructed["end_to_end_tx_per_s"] > 0
+    assert obstructed["beacons_sent"] > 0
+    assert (
+        obstructed["end_to_end_tx_per_s"]
+        >= 0.5 * dense["fleet_batched"]["end_to_end_tx_per_s"]
+    ), "obstruction fallback regressed the dense-500 beacon loop by >2x"
+
     for entry in report["fleet_beacon_scaling"]["by_n"].values():
         assert entry["beacons_sent"] > 0
         assert entry["end_to_end_tx_per_s"] > 0

@@ -49,6 +49,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.impairments import fault_sweep
 from repro.experiments.metrics import BinnedRates
+from repro.experiments.urban import urban_sweep
 from repro.experiments.runner import AbResult, RunResult, expand_jobs, run_single
 from repro.experiments.store import ResultStore, RunKey, config_hash
 
@@ -91,6 +92,7 @@ AB_TARGETS: Dict[str, Callable[..., Any]] = {
     "fig14a": fig14.fig14a,
     "fig14b": fig14.fig14b,
     "faults": fault_sweep,
+    "urban": urban_sweep,
 }
 
 
@@ -172,6 +174,7 @@ CAMPAIGN_TARGETS: List[str] = [
     "fig14b",
     "overhead",
     "faults",
+    "urban",
 ]
 
 #: CLI conveniences: aggregate names expanded to atomic targets.

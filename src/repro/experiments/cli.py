@@ -24,6 +24,13 @@ terminal-outcome breakdown behind the figures' aggregate drop rates.
 ``faults`` sweeps the inter-area attack over a frame-loss × node-churn
 impairment grid (store-backed, resumable like a campaign) and reports how
 attack success and delivery ratio hold up off the ideal channel.
+
+``urban`` sweeps both attacks over {highway, urban Manhattan grid} ×
+{DCC off, on} × {CBF, S-FoT+} — the urban scenario pack — with the same
+store-backed resume semantics::
+
+    repro-experiments urban --runs 2 --duration 100 --processes 8
+    repro-experiments campaign urban --resume --processes 8
 """
 
 from __future__ import annotations
@@ -125,6 +132,10 @@ def _run_target(name: str, args: argparse.Namespace) -> None:
         from repro.experiments.impairments import fault_sweep
 
         _emit(fault_sweep(**kw).format())
+    elif name == "urban":
+        from repro.experiments.urban import urban_sweep
+
+        _emit(urban_sweep(**kw).format())
     elif name == "overhead":
         from repro.experiments.config import ExperimentConfig
         from repro.experiments.overhead import format_analysis
@@ -196,6 +207,7 @@ ALL_TARGETS = [
     "fig14b",
     "overhead",
     "faults",
+    "urban",
 ]
 
 
@@ -300,11 +312,9 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_faults_parser() -> argparse.ArgumentParser:
+def _build_sweep_parser(name: str, description: str) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-experiments faults",
-        description="Sweep the inter-area attack over a frame-loss x "
-        "node-churn impairment grid (store-backed and resumable).",
+        prog=f"repro-experiments {name}", description=description
     )
     _add_common_args(parser)
     parser.add_argument(
@@ -361,8 +371,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "faults":
         # Store-backed by design: the 9-cell x N-run grid is expensive, so
         # a re-issued sweep only costs the missing runs.
-        args = _build_faults_parser().parse_args(argv[1:])
+        args = _build_sweep_parser(
+            "faults",
+            "Sweep the inter-area attack over a frame-loss x node-churn "
+            "impairment grid (store-backed and resumable).",
+        ).parse_args(argv[1:])
         return _run_saved(["faults"], args)
+    if argv and argv[0] == "urban":
+        # Same store-backed pattern as 'faults': the 2x2x2-per-attack grid
+        # resumes from wherever a previous sweep stopped.
+        args = _build_sweep_parser(
+            "urban",
+            "Sweep both attacks over {highway, urban} x {DCC off, on} x "
+            "{CBF, S-FoT+} (store-backed and resumable).",
+        ).parse_args(argv[1:])
+        return _run_saved(["urban"], args)
     args = _build_target_parser().parse_args(argv)
     if args.target == "campaign":
         raise SystemExit("usage: repro-experiments campaign <targets...>")

@@ -150,11 +150,85 @@ class WorkloadConfig:
 
 
 @dataclass(frozen=True)
+class UrbanConfig:
+    """Manhattan-grid geometry, urban traffic, and shadowing knobs.
+
+    Only consulted when ``ExperimentConfig.scenario == "urban"``.  The
+    defaults give a 4×4-street grid of 250 m blocks (a 750 m × 750 m
+    downtown patch), ~50 km/h urban speeds, and corner shadowing with a
+    15 m clearance around intersections (NLoS links between vehicles on
+    different streets are blocked unless both sit near a shared corner).
+    """
+
+    streets_x: int = 4
+    streets_y: int = 4
+    block_size: float = 250.0
+    lane_width: float = 4.0
+    #: Half-width of the LoS corridor around each street centerline.  Covers
+    #: both directed lanes (at ±lane_width/2) plus curb margin.
+    los_half_width: float = 6.0
+    #: Radius around an intersection within which diffraction carries a
+    #: signal "around the corner" to the crossing street.
+    corner_clearance: float = 15.0
+    turn_probability: float = 0.25
+    desired_speed: float = 14.0
+    entry_speed: float = 10.0
+    spawn_gap: float = 40.0
+    inter_vehicle_space: float = 50.0
+    prepopulate: bool = True
+    spawn: bool = True
+
+    def __post_init__(self):
+        if self.streets_x < 2 or self.streets_y < 2:
+            raise ConfigError(
+                "urban grid needs >= 2 streets per axis, got "
+                f"streets_x={self.streets_x!r} streets_y={self.streets_y!r}"
+            )
+        if self.block_size <= 0:
+            raise ConfigError(
+                f"urban.block_size must be positive, got {self.block_size!r}"
+            )
+        if self.lane_width <= 0:
+            raise ConfigError(
+                f"urban.lane_width must be positive, got {self.lane_width!r}"
+            )
+        if self.los_half_width < self.lane_width / 2:
+            raise ConfigError(
+                "urban.los_half_width must cover the lane offset "
+                f"(>= lane_width/2), got {self.los_half_width!r}"
+            )
+        if self.corner_clearance < 0:
+            raise ConfigError(
+                "urban.corner_clearance must be non-negative, got "
+                f"{self.corner_clearance!r}"
+            )
+        if not 0.0 <= self.turn_probability <= 1.0:
+            raise ConfigError(
+                "urban.turn_probability must be in [0, 1], got "
+                f"{self.turn_probability!r}"
+            )
+        for name in ("desired_speed", "entry_speed", "spawn_gap",
+                     "inter_vehicle_space"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"urban.{name} must be positive, got {getattr(self, name)!r}"
+                )
+
+
+#: Valid ``ExperimentConfig.scenario`` values.
+SCENARIOS = ("highway", "urban")
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """One fully-specified scenario."""
 
     technology: RadioTechnology = DSRC
+    #: "highway" (the paper's 4 000 m straight road, the default) or
+    #: "urban" (Manhattan grid + corner shadowing; see ``urban``).
+    scenario: str = "highway"
     road: RoadConfig = field(default_factory=RoadConfig)
+    urban: UrbanConfig = field(default_factory=UrbanConfig)
     geonet: GeoNetConfig = field(default_factory=GeoNetConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     attack: AttackConfig = field(default_factory=AttackConfig)
@@ -189,6 +263,10 @@ class ExperimentConfig:
     label: str = ""
 
     def __post_init__(self):
+        if self.scenario not in SCENARIOS:
+            raise ConfigError(
+                f"scenario must be one of {SCENARIOS}, got {self.scenario!r}"
+            )
         if self.duration <= 0:
             raise ConfigError(f"duration must be positive, got {self.duration!r}")
         if self.bin_width <= 0:
@@ -308,6 +386,19 @@ class ExperimentConfig:
     def with_(self, **overrides) -> "ExperimentConfig":
         """A copy with top-level fields replaced."""
         return replace(self, **overrides)
+
+    def urbanized(self, **urban_overrides) -> "ExperimentConfig":
+        """A copy switched to the urban scenario.
+
+        Keyword arguments override :class:`UrbanConfig` fields, e.g.
+        ``config.urbanized(streets_x=3, block_size=200.0)``.
+        """
+        urban = (
+            replace(self.urban, **urban_overrides)
+            if urban_overrides
+            else self.urban
+        )
+        return replace(self, scenario="urban", urban=urban)
 
 
 #: Named technologies for CLI parsing.

@@ -29,16 +29,17 @@ from repro.geonet.packets import BeaconBody, GeoBroadcastPacket, PacketId
 from repro.observability.invariants import InvariantChecker
 from repro.observability.ledger import PacketLedger, reasons
 from repro.radio.channel import BroadcastChannel
+from repro.radio.shadowing import ManhattanShadowing
 from repro.security.ca import CertificateAuthority
 from repro.security.signing import sign, verify
 from repro.sim.engine import Simulator
 from repro.sim.process import every
 from repro.sim.random import RandomStreams
+from repro.traffic.grid import GridRoadNetwork, GridTrafficSimulation
 from repro.traffic.idm import IdmParameters
 from repro.traffic.road import Direction, RoadSegment
 from repro.traffic.simulation import TrafficSimulation
 from repro.traffic.spawner import EntranceSpawner
-from repro.traffic.vehicle import Vehicle
 
 
 class World:
@@ -87,23 +88,17 @@ class World:
             )
 
         # --- road traffic ------------------------------------------------
+        # The urban scenario swaps the 4 000 m highway for a Manhattan grid
+        # (turning traffic) and registers corner shadowing on the channel;
+        # everything downstream (nodes, workload, attacker) is scenario-
+        # agnostic apart from the geometry branches below.  The highway
+        # branch is byte-for-byte the seed wiring: a default config takes
+        # none of the urban code paths and stays golden-bit-identical.
+        self.urban = config.scenario == "urban"
         road_cfg = config.road
-        self.road = RoadSegment(
-            length=road_cfg.length,
-            lanes_per_direction=road_cfg.lanes_per_direction,
-            lane_width=road_cfg.lane_width,
-            directions=road_cfg.directions,
-        )
-        self.spawner = (
-            EntranceSpawner(
-                spawn_gap=road_cfg.inter_vehicle_space,
-                entry_speed=road_cfg.entry_speed,
-                gap_jitter=0.3,
-                rng=self.streams.get("spawner"),
-            )
-            if road_cfg.spawn
-            else None
-        )
+        self.road: Optional[RoadSegment] = None
+        self.grid: Optional[GridRoadNetwork] = None
+        self.shadowing: Optional[ManhattanShadowing] = None
         # --- batched fleet (fleet_use_batched) -----------------------------
         # Built before the traffic so the spawn callbacks can claim slots.
         # On this path vehicles carry no per-node BeaconService: one
@@ -114,17 +109,71 @@ class World:
         self.fleet_scheduler: Optional[FleetBeaconScheduler] = None
         if config.fleet_use_batched:
             self.fleet = FleetState(self.channel)
-        self.traffic = TrafficSimulation(
-            self.road,
-            IdmParameters(),
-            dt=config.mobility_dt,
-            spawner=self.spawner,
-            rng=self.streams.get("traffic"),
-            # Keep radios alive past the segment for one LocT lifetime, so
-            # exiting vehicles don't become phantom GF targets.
-            runout=config.geonet.loct_ttl * 30.0,
-            fleet=self.fleet,
-        )
+        if self.urban:
+            urban_cfg = config.urban
+            self.grid = GridRoadNetwork(
+                streets_x=urban_cfg.streets_x,
+                streets_y=urban_cfg.streets_y,
+                block_size=urban_cfg.block_size,
+                lane_width=urban_cfg.lane_width,
+            )
+            self.shadowing = ManhattanShadowing.for_grid(
+                urban_cfg.streets_x,
+                urban_cfg.streets_y,
+                urban_cfg.block_size,
+                half_width=urban_cfg.los_half_width,
+                corner_clearance=urban_cfg.corner_clearance,
+            )
+            self.channel.add_obstruction(self.shadowing)
+            self.spawner = (
+                EntranceSpawner(
+                    spawn_gap=urban_cfg.spawn_gap,
+                    entry_speed=urban_cfg.entry_speed,
+                    gap_jitter=0.3,
+                    rng=self.streams.get("spawner"),
+                )
+                if urban_cfg.spawn
+                else None
+            )
+            self.traffic = GridTrafficSimulation(
+                self.grid,
+                IdmParameters(desired_velocity=urban_cfg.desired_speed),
+                dt=config.mobility_dt,
+                spawner=self.spawner,
+                rng=self.streams.get("traffic"),
+                # One LocT lifetime at urban speed past the grid edge.
+                runout=config.geonet.loct_ttl * urban_cfg.desired_speed,
+                turn_probability=urban_cfg.turn_probability,
+                fleet=self.fleet,
+            )
+        else:
+            self.road = RoadSegment(
+                length=road_cfg.length,
+                lanes_per_direction=road_cfg.lanes_per_direction,
+                lane_width=road_cfg.lane_width,
+                directions=road_cfg.directions,
+            )
+            self.spawner = (
+                EntranceSpawner(
+                    spawn_gap=road_cfg.inter_vehicle_space,
+                    entry_speed=road_cfg.entry_speed,
+                    gap_jitter=0.3,
+                    rng=self.streams.get("spawner"),
+                )
+                if road_cfg.spawn
+                else None
+            )
+            self.traffic = TrafficSimulation(
+                self.road,
+                IdmParameters(),
+                dt=config.mobility_dt,
+                spawner=self.spawner,
+                rng=self.streams.get("traffic"),
+                # Keep radios alive past the segment for one LocT lifetime,
+                # so exiting vehicles don't become phantom GF targets.
+                runout=config.geonet.loct_ttl * 30.0,
+                fleet=self.fleet,
+            )
         if self.fleet is not None:
             fleet = self.fleet
             self.traffic.on_step.append(
@@ -168,7 +217,13 @@ class World:
         self._veh_seq = 0
         self.traffic.on_spawn.append(self._attach_node)
         self.traffic.on_exit.append(self._detach_node)
-        if road_cfg.prepopulate:
+        if self.urban:
+            if config.urban.prepopulate:
+                self.traffic.populate(
+                    spacing=config.urban.inter_vehicle_space,
+                    speed=config.urban.entry_speed,
+                )
+        elif road_cfg.prepopulate:
             self.traffic.populate(
                 spacing=road_cfg.inter_vehicle_space, speed=road_cfg.entry_speed
             )
@@ -178,16 +233,31 @@ class World:
         self.dest_areas: Dict[Direction, DestinationArea] = {}
         if config.workload.kind is WorkloadKind.INTER_AREA:
             self._build_destinations()
-        self.flood_area = RectangularArea(
-            0.0, self.road.length, 0.0, self.road.total_width
-        )
+        if self.urban:
+            # The flood covers the grid plus the LoS corridor margin, so a
+            # vehicle rounding the outermost corner still counts.
+            margin = config.urban.los_half_width
+            self.flood_area = RectangularArea(
+                -margin, self.grid.width + margin, -margin, self.grid.height + margin
+            )
+        else:
+            self.flood_area = RectangularArea(
+                0.0, self.road.length, 0.0, self.road.total_width
+            )
 
         # --- vulnerability geometry (drives paired workload selection) -----
+        # On the grid the 1-D covered/vulnerable partition of the highway
+        # analysis does not transfer (shadowing breaks range circles), so
+        # the urban world keeps the model only for its range bookkeeping and
+        # sources packets from *any* active vehicle instead.
+        extent_x = self.grid.width if self.urban else self.road.length
         self.vulnerability = VulnerabilityModel(
-            attacker_x=config.attacker_x,
+            attacker_x=(
+                config.attack.x if config.attack.x is not None else extent_x / 2
+            ),
             attack_range=config.attack.attack_range,
             vehicle_range=config.vehicle_range,
-            road_length=self.road.length,
+            road_length=extent_x,
         )
 
         # --- attacker (B runs) ---------------------------------------------
@@ -229,7 +299,9 @@ class World:
     # ------------------------------------------------------------------
     # node lifecycle
     # ------------------------------------------------------------------
-    def _attach_node(self, vehicle: Vehicle) -> None:
+    def _attach_node(self, vehicle) -> None:
+        # ``vehicle`` is a highway Vehicle or a GridVehicle — both expose
+        # vehicle_id / position / speed / heading / fleet_slot.
         self._veh_seq += 1
         seq = self._veh_seq
         node = GeoNode(
@@ -252,11 +324,12 @@ class World:
         self.nodes[vehicle.vehicle_id] = node
         self.node_by_addr[node.address] = node
         if self.fleet is not None:
+            position = vehicle.position
             vehicle.fleet_slot = self.fleet.add(
                 node,
                 node.iface,
-                x=vehicle.x,
-                y=vehicle.lane.y,
+                x=position.x,
+                y=position.y,
                 speed=vehicle.speed,
                 heading=vehicle.heading,
                 tx_range=self.config.vehicle_range,
@@ -266,7 +339,7 @@ class World:
             # (no GPS error) on wired power (no churn).
             self.fault_injector.adopt(node)
 
-    def _detach_node(self, vehicle: Vehicle) -> None:
+    def _detach_node(self, vehicle) -> None:
         node = self.nodes.pop(vehicle.vehicle_id, None)
         if node is not None:
             self.node_by_addr.pop(node.address, None)
@@ -291,7 +364,12 @@ class World:
         signed once — and verified immediately, memoizing the verdict so
         no receiver pays for re-verification (the per-object path memoizes
         on first reception instead; same single verify call per beacon).
+        DCC gating happens here too: a throttled member skips this cycle
+        exactly as :meth:`GeoNode.send_beacon` would.
         """
+        if node.dcc is not None and not node.dcc.allow(now):
+            node.dcc.stats.beacons_throttled += 1
+            return None
         if node.pv_fault is not None:
             pv = node.pv_fault(pv)
         payload = sign(
@@ -314,11 +392,20 @@ class World:
         return len(batch)
 
     def _build_destinations(self) -> None:
-        y_center = self.road.total_width / 2
         offset = self.config.workload.dest_offset
         radius = self.config.workload.dest_radius
-        east_center = Position(self.road.length + offset, y_center)
-        west_center = Position(-offset, y_center)
+        if self.urban:
+            # Roadside units just beyond the grid's east/west edges, on the
+            # centerline of the central horizontal street: in LoS along the
+            # street corridor, shadowed from everywhere else — reaching them
+            # requires routing *along* streets.
+            y_center = self.grid.ys[len(self.grid.ys) // 2]
+            east_center = Position(self.grid.width + offset, y_center)
+            west_center = Position(-offset, y_center)
+        else:
+            y_center = self.road.total_width / 2
+            east_center = Position(self.road.length + offset, y_center)
+            west_center = Position(-offset, y_center)
         self.dest_areas[Direction.EAST] = CircularArea(east_center, radius)
         self.dest_areas[Direction.WEST] = CircularArea(west_center, radius)
         for label, center in (("east", east_center), ("west", west_center)):
@@ -339,7 +426,18 @@ class World:
 
     def _build_attacker(self) -> RoadsideAttacker:
         cfg = self.config.attack
-        position = Position(self.config.attacker_x, cfg.y_offset)
+        if self.urban:
+            # Curbside mast on the central vertical street, offset along it
+            # from the central intersection — on-street, so the shadowing
+            # model gives it LoS down two full corridors plus every corner
+            # within clearance.
+            cx = (
+                self.grid.xs[len(self.grid.xs) // 2] if cfg.x is None else cfg.x
+            )
+            cy = self.grid.ys[len(self.grid.ys) // 2]
+            position = Position(cx, cy + cfg.y_offset)
+        else:
+            position = Position(self.config.attacker_x, cfg.y_offset)
         common = dict(
             sim=self.sim,
             channel=self.channel,
@@ -379,12 +477,23 @@ class World:
         return pairs
 
     def _generate_inter_area_packet(self) -> None:
-        """Source one *vulnerable* GF packet (paper §IV-A)."""
-        candidates = []
-        for vehicle, node in self._active_vehicle_nodes():
-            directions = self.vulnerability.vulnerable_directions(vehicle.x)
-            if directions:
-                candidates.append((vehicle, node, directions))
+        """Source one *vulnerable* GF packet (paper §IV-A).
+
+        Urban: the highway's 1-D vulnerability partition has no grid
+        analogue, so any active vehicle sources toward a uniformly chosen
+        east/west roadside destination (same two draws per packet).
+        """
+        if self.urban:
+            candidates = [
+                (vehicle, node, (Direction.EAST, Direction.WEST))
+                for vehicle, node in self._active_vehicle_nodes()
+            ]
+        else:
+            candidates = []
+            for vehicle, node in self._active_vehicle_nodes():
+                directions = self.vulnerability.vulnerable_directions(vehicle.x)
+                if directions:
+                    candidates.append((vehicle, node, directions))
         if not candidates:
             return
         vehicle, node, directions = candidates[
@@ -399,8 +508,10 @@ class World:
             source_x=vehicle.x,
             direction=int(direction),
             success=0.0,
-            in_fully_covered_area=self.vulnerability.in_fully_covered_area(
-                vehicle.x
+            in_fully_covered_area=(
+                False
+                if self.urban
+                else self.vulnerability.in_fully_covered_area(vehicle.x)
             ),
         )
         self.metrics.record(outcome)
@@ -417,7 +528,7 @@ class World:
             hi = (
                 workload.source_xmax
                 if workload.source_xmax is not None
-                else self.road.length
+                else (self.grid.width if self.urban else self.road.length)
             )
             candidates = [(v, n) for v, n in pairs if lo <= v.x <= hi]
             if not candidates:
@@ -434,8 +545,10 @@ class World:
             success=0.0,
             receivers=0,
             denominator=len(snapshot),
-            in_fully_covered_area=self.vulnerability.in_fully_covered_area(
-                vehicle.x
+            in_fully_covered_area=(
+                False
+                if self.urban
+                else self.vulnerability.in_fully_covered_area(vehicle.x)
             ),
         )
         self.metrics.record(outcome)
@@ -544,4 +657,9 @@ def node_stat_counters(node: GeoNode) -> Counter:
         stats = getter(node)
         for f in dataclasses.fields(stats):
             counters[f"{prefix}_{f.name}"] += getattr(stats, f.name)
+    # DCC gates only exist with dcc_enabled; absent keys keep default-run
+    # extras byte-identical.
+    if node.dcc is not None:
+        for f in dataclasses.fields(node.dcc.stats):
+            counters[f"dcc_{f.name}"] += getattr(node.dcc.stats, f.name)
     return counters

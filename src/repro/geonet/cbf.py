@@ -21,6 +21,7 @@ hop; the attacker's RHL=1 rewrite differs by many).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -67,6 +68,9 @@ class _BufferedPacket:
     timer: EventHandle
     buffered_at: float
     defers: int = 0
+    #: Plausible duplicates overheard while contending (S-FoT+ cancels
+    #: only after ``sfot_dup_threshold`` of them; stock CBF after one).
+    dup_heard: int = 0
 
 
 @dataclass
@@ -82,6 +86,16 @@ class CbfStats:
     late_duplicates_ignored: int = 0
     rhl_check_rejections: int = 0
     csma_defers: int = 0
+    #: Copies abandoned because the medium never cleared across the whole
+    #: CSMA defer budget (terminal ledger outcome ``cbf-defer-exhausted``).
+    csma_defer_exhaustions: int = 0
+    #: Re-broadcasts withheld by the reactive DCC gate.
+    dcc_suppressed: int = 0
+    #: S-FoT+ only: first receptions outside the contention sector
+    #: (delivered but never buffered).
+    sector_skips: int = 0
+    #: S-FoT+ only: duplicates heard while below the cancel threshold.
+    dup_below_threshold: int = 0
 
 
 class CbfForwarder:
@@ -103,6 +117,7 @@ class CbfForwarder:
         medium_busy: Optional[Callable[[], bool]] = None,
         ledger=None,
         get_addr: Optional[Callable[[], int]] = None,
+        dcc=None,
     ):
         self._sim = sim
         self.config = config
@@ -110,6 +125,10 @@ class CbfForwarder:
         self._deliver = deliver
         self._broadcast = broadcast
         self._rng = rng
+        #: Optional per-node :class:`~repro.geonet.dcc.DccGate`; when set,
+        #: re-broadcasts that win contention still pass the access-layer
+        #: rate gate before hitting the air.
+        self._dcc = dcc
         #: Optional PacketLedger plus the owner's (current) address for it.
         self._ledger = ledger
         self._get_addr = get_addr
@@ -197,6 +216,10 @@ class CbfForwarder:
             # differ by ~1.  Keep contending.
             self.stats.rhl_check_rejections += 1
             return
+        self._cancel_buffered(buffered)
+
+    def _cancel_buffered(self, buffered: _BufferedPacket) -> None:
+        """Duplicate suppression: stop contending for this copy."""
         buffered.timer.cancel()
         del self._buffers[buffered.packet.packet_id]
         self._remember_done(buffered.packet)
@@ -248,27 +271,41 @@ class CbfForwarder:
         buffered = self._buffers.get(packet_id)
         if buffered is None:
             return
-        if (
-            self._medium_busy is not None
-            and buffered.defers < _MAX_CSMA_DEFERS
-            and self._medium_busy()
-        ):
-            # Channel busy: back off one airtime and listen — if the ongoing
-            # transmission is a duplicate of this packet, it will cancel us.
-            buffered.defers += 1
-            delay = 0.001
-            if self._rng is not None:
-                delay += self._rng.uniform(0, 0.0005)
-            buffered.timer = self._sim.schedule(
-                delay, self._contention_expired, packet_id
-            )
-            self.stats.csma_defers += 1
+        if self._medium_busy is not None and self._medium_busy():
+            if buffered.defers < _MAX_CSMA_DEFERS:
+                # Channel busy: back off one airtime and listen — if the
+                # ongoing transmission is a duplicate of this packet, it
+                # will cancel us.
+                buffered.defers += 1
+                delay = 0.001
+                if self._rng is not None:
+                    delay += self._rng.uniform(0, 0.0005)
+                buffered.timer = self._sim.schedule(
+                    delay, self._contention_expired, packet_id
+                )
+                self.stats.csma_defers += 1
+                return
+            # Carrier sense never cleared across the entire defer budget.
+            # A real MAC abandons the frame after its retry limit rather
+            # than jamming a saturated channel; account the copy with its
+            # own terminal outcome instead of force-broadcasting (or, as an
+            # earlier revision did, letting it vanish from the ledger).
+            del self._buffers[packet_id]
+            self._remember_done(buffered.packet)
+            self.stats.csma_defer_exhaustions += 1
+            self._ledger_drop(buffered.packet, reasons.CBF_DEFER_EXHAUSTED)
             return
         del self._buffers[packet_id]
         self._remember_done(buffered.packet)
         if buffered.packet.expired(self._sim.now):
             self.stats.expired_in_buffer += 1
             self._ledger_drop(buffered.packet, reasons.EXPIRED_IN_BUFFER)
+            return
+        if self._dcc is not None and not self._dcc.allow(self._sim.now):
+            # Won contention but the access layer is rate-limiting this
+            # station: the copy is withheld, exactly like a DCC queue drop.
+            self.stats.dcc_suppressed += 1
+            self._ledger_drop(buffered.packet, reasons.DCC_SUPPRESSED)
             return
         self._ledger_hop(buffered.packet, "cbf-rebroadcast")
         self._broadcast(buffered.packet, buffered.forward_rhl)
@@ -322,3 +359,70 @@ class CbfForwarder:
         """Reboot: duplicate-detection memory is volatile RAM — wipe it."""
         self._done.clear()
         self._next_done_sweep = now + _DONE_SWEEP_INTERVAL
+
+
+class SfotCbfForwarder(CbfForwarder):
+    """S-FoT+ — the sectorial CBF variant of Amador et al. (arXiv
+    2403.11271), selected with ``GeoNetConfig.cbf_variant = "sfot+"``.
+
+    Two deviations from stock CBF, both aimed at wasted and hijackable
+    contention rounds:
+
+    * **Sectorial contention.**  On first reception, a node contends only
+      if it lies inside a sector of ``sfot_sector_deg`` degrees centred on
+      the previous-sender -> destination-center direction.  Receivers
+      behind or beside the sender still *deliver* the packet but never
+      buffer it — their re-broadcast would push the flood away from the
+      area.  (With the sender at the area center the flood is already
+      home; every receiver contends, as in the original.)
+    * **Duplicate threshold.**  A buffered copy is cancelled only after
+      ``sfot_dup_threshold`` plausible duplicates instead of the first.
+      This is the "+" refinement — and it is directly relevant to the
+      paper's intra-area blockage attack, whose suppression primitive is a
+      *single* replayed duplicate per contender.
+
+    RNG discipline matches the base class: the sector test and duplicate
+    counting draw nothing, so ``cbf_variant="cbf"`` runs are untouched and
+    S-FoT+ runs stay deterministic per seed.
+    """
+
+    def _in_contention_sector(self, packet: GeoBroadcastPacket) -> bool:
+        sender = packet.sender_position
+        center = packet.area.center
+        own = self._get_position()
+        tx = center.x - sender.x
+        ty = center.y - sender.y
+        t_sq = tx * tx + ty * ty
+        if t_sq <= 1e-12:
+            return True
+        vx = own.x - sender.x
+        vy = own.y - sender.y
+        v_sq = vx * vx + vy * vy
+        if v_sq <= 1e-12:
+            return True
+        cos_angle = (tx * vx + ty * vy) / math.sqrt(t_sq * v_sq)
+        half_rad = math.radians(self.config.sfot_sector_deg / 2.0)
+        return cos_angle >= math.cos(half_rad)
+
+    def _first_reception(self, packet: GeoBroadcastPacket, now: float) -> None:
+        if not self._in_contention_sector(packet):
+            self.stats.first_receptions += 1
+            self.stats.sector_skips += 1
+            self._deliver(packet)
+            self._remember_done(packet)
+            return
+        super()._first_reception(packet, now)
+
+    def _handle_duplicate(
+        self, buffered: _BufferedPacket, duplicate: GeoBroadcastPacket
+    ) -> None:
+        if self.config.rhl_check and not duplicate_rhl_plausible(
+            buffered.first_rhl, duplicate.rhl, self.config.rhl_drop_threshold
+        ):
+            self.stats.rhl_check_rejections += 1
+            return
+        buffered.dup_heard += 1
+        if buffered.dup_heard < self.config.sfot_dup_threshold:
+            self.stats.dup_below_threshold += 1
+            return
+        self._cancel_buffered(buffered)

@@ -71,6 +71,35 @@ class GeoNetConfig:
     rhl_check: bool = False
     rhl_drop_threshold: int = 3
 
+    # --- forwarder variant ------------------------------------------------
+    #: ``"cbf"`` is the stock EN 302 636-4-1 contention forwarder the
+    #: paper attacks; ``"sfot+"`` selects the S-FoT+ sectorial variant
+    #: (Amador et al., arXiv 2403.11271): only receivers inside a sector
+    #: toward the destination contend, and a buffered copy is cancelled
+    #: only after ``sfot_dup_threshold`` distinct duplicates.
+    cbf_variant: str = "cbf"
+    #: Full opening angle (degrees) of the S-FoT+ contention sector,
+    #: centred on the sender->destination-center direction.
+    sfot_sector_deg: float = 120.0
+    #: Number of overheard duplicates needed to cancel a buffered copy
+    #: under S-FoT+ (stock CBF cancels on the first).
+    sfot_dup_threshold: int = 2
+
+    # --- DCC (reactive, TS 102 687 flavour) -------------------------------
+    #: Off by default: the gate is then never constructed, and runs stay
+    #: bit-identical to the pre-DCC goldens.
+    dcc_enabled: bool = False
+    #: EWMA weight of each carrier-sense sample in the CBR estimate.
+    dcc_cbr_alpha: float = 0.5
+    #: CBR thresholds separating the relaxed / active / restrictive states.
+    dcc_cbr_low: float = 0.30
+    dcc_cbr_high: float = 0.60
+    #: Minimum gap (s) between gated transmissions in each state.  Beacons
+    #: and CBF/GF forwards share one gate per node.
+    dcc_gap_relaxed: float = 0.0
+    dcc_gap_active: float = 0.1
+    dcc_gap_restrictive: float = 0.5
+
     def __post_init__(self):
         if self.beacon_period <= 0:
             raise ConfigError(
@@ -119,6 +148,43 @@ class GeoNetConfig:
             raise ConfigError(
                 "gf_recheck_interval must be positive, got "
                 f"{self.gf_recheck_interval!r}"
+            )
+        if self.cbf_variant not in ("cbf", "sfot+"):
+            raise ConfigError(
+                f"cbf_variant must be 'cbf' or 'sfot+', got {self.cbf_variant!r}"
+            )
+        if not 0 < self.sfot_sector_deg <= 360:
+            raise ConfigError(
+                "sfot_sector_deg must be in (0, 360], got "
+                f"{self.sfot_sector_deg!r}"
+            )
+        if self.sfot_dup_threshold < 1:
+            raise ConfigError(
+                "sfot_dup_threshold must be >= 1, got "
+                f"{self.sfot_dup_threshold!r}"
+            )
+        if not 0 < self.dcc_cbr_alpha <= 1:
+            raise ConfigError(
+                f"dcc_cbr_alpha must be in (0, 1], got {self.dcc_cbr_alpha!r}"
+            )
+        if not 0 <= self.dcc_cbr_low <= self.dcc_cbr_high <= 1:
+            raise ConfigError(
+                "dcc CBR thresholds must satisfy 0 <= dcc_cbr_low <= "
+                f"dcc_cbr_high <= 1, got low={self.dcc_cbr_low!r} "
+                f"high={self.dcc_cbr_high!r}"
+            )
+        if not (
+            0
+            <= self.dcc_gap_relaxed
+            <= self.dcc_gap_active
+            <= self.dcc_gap_restrictive
+        ):
+            raise ConfigError(
+                "dcc gaps must satisfy 0 <= dcc_gap_relaxed <= dcc_gap_active"
+                " <= dcc_gap_restrictive, got "
+                f"relaxed={self.dcc_gap_relaxed!r} "
+                f"active={self.dcc_gap_active!r} "
+                f"restrictive={self.dcc_gap_restrictive!r}"
             )
 
     def with_mitigations(

@@ -1,0 +1,113 @@
+"""Reactive DCC: an access-layer gate driven by channel busy ratio.
+
+ETSI ITS stations run Decentralized Congestion Control (TS 102 687)
+between the networking and access layers: every station measures the
+channel busy ratio (CBR) and throttles its own transmissions when the
+channel saturates.  Amador et al. (arXiv 2403.16237) show DCC interacts
+strongly with GeoNetworking forwarding — a forwarder that wins CBF
+contention may be *gated* by DCC, changing who actually rebroadcasts.
+
+This module implements the reactive flavour: the measured CBR selects one
+of three states (relaxed / active / restrictive), each imposing a minimum
+gap between consecutive gated transmissions of the same node.  Beacons and
+CBF/GF forwards share one gate per node, exactly because DCC sits below
+the networking layer — a node that just relayed a burst of forwards must
+also hold its beacon.
+
+Measurement piggybacks on the channel's carrier-sense primitive
+(:meth:`~repro.radio.channel.BroadcastChannel.medium_busy`): the gate
+samples it at every decision point and folds the samples into an
+exponentially-weighted CBR estimate.  That keeps the gate event-free (no
+per-node sampling timers) and — critically for the reproduction's
+bit-identity contract — entirely RNG-free: an enabled gate draws zero
+random numbers, and a disabled one (``dcc_enabled=False``, the default)
+is never constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DccStats:
+    """Counters for one node's DCC gate."""
+
+    samples: int = 0
+    busy_samples: int = 0
+    tx_allowed: int = 0
+    tx_throttled: int = 0
+    #: Of the throttled transmissions, how many were beacon cycles.
+    beacons_throttled: int = 0
+
+
+class DccGate:
+    """Per-node reactive DCC gate.
+
+    ``medium_busy`` is a zero-argument carrier-sense callable (bound to
+    the node's own position).  :meth:`allow` is the single decision point:
+    it samples the channel, updates the CBR estimate, and admits the
+    transmission only when the minimum gap of the current DCC state has
+    elapsed since the last admitted one.
+    """
+
+    def __init__(self, sim, config, medium_busy):
+        self._sim = sim
+        self._config = config
+        self._medium_busy = medium_busy
+        self._cbr = 0.0
+        self._last_sample_at = -float("inf")
+        self._last_tx_at = -float("inf")
+        self.stats = DccStats()
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    @property
+    def cbr(self) -> float:
+        """Current channel-busy-ratio estimate in [0, 1]."""
+        return self._cbr
+
+    def observe(self, now: float) -> None:
+        """Fold one carrier-sense sample into the CBR estimate.
+
+        At most one sample per simulation instant: several decisions in the
+        same event (e.g. a forward plus a beacon) reuse the measurement.
+        """
+        if now <= self._last_sample_at:
+            return
+        self._last_sample_at = now
+        busy = bool(self._medium_busy())
+        self.stats.samples += 1
+        if busy:
+            self.stats.busy_samples += 1
+        alpha = self._config.dcc_cbr_alpha
+        self._cbr = (1.0 - alpha) * self._cbr + alpha * (1.0 if busy else 0.0)
+
+    def min_gap(self) -> float:
+        """Minimum inter-transmission gap for the current CBR estimate."""
+        cfg = self._config
+        if self._cbr <= cfg.dcc_cbr_low:
+            return cfg.dcc_gap_relaxed
+        if self._cbr <= cfg.dcc_cbr_high:
+            return cfg.dcc_gap_active
+        return cfg.dcc_gap_restrictive
+
+    # ------------------------------------------------------------------
+    # gating
+    # ------------------------------------------------------------------
+    def allow(self, now: float) -> bool:
+        """Admit or throttle a gated transmission at time ``now``."""
+        self.observe(now)
+        if now - self._last_tx_at >= self.min_gap():
+            self._last_tx_at = now
+            self.stats.tx_allowed += 1
+            return True
+        self.stats.tx_throttled += 1
+        return False
+
+    def reset_state(self) -> None:
+        """Wipe volatile state (node reboot via the fault layer)."""
+        self._cbr = 0.0
+        self._last_sample_at = -float("inf")
+        self._last_tx_at = -float("inf")

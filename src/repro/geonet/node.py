@@ -15,6 +15,7 @@ from repro.geo.areas import DestinationArea
 from repro.geo.position import Position, PositionVector
 from repro.geonet.beaconing import BeaconService
 from repro.geonet.config import GeoNetConfig
+from repro.geonet.dcc import DccGate
 from repro.geonet.packets import BeaconBody, GeoBroadcastPacket, PacketId
 from repro.geonet.router import GeoRouter
 from repro.geonet.unicast import GeoUnicastPacket
@@ -110,6 +111,15 @@ class GeoNode:
         channel.register(self.iface)
         #: Per-node randomness (beacon jitter, LS flood jitter).
         self.rng = rng if rng is not None else random.Random(self.iface.address)
+        #: Reactive DCC gate shared by beacons and CBF/GF forwards; None
+        #: when DCC is off (the default) so the stack stays bit-identical
+        #: to the pre-DCC goldens.  Built before the router so the
+        #: forwarding services can capture it.
+        self.dcc: Optional[DccGate] = None
+        if config.dcc_enabled:
+            self.dcc = DccGate(
+                sim, config, lambda: channel.medium_busy(mobility.position())
+            )
         self.router = GeoRouter(self)
         self.iface.attach(self._on_frame)
         self.beacon_service: Optional[BeaconService] = None
@@ -195,6 +205,9 @@ class GeoNode:
         mobility is never perturbed.
         """
         if self._shut_down or self._down:
+            return
+        if self.dcc is not None and not self.dcc.allow(self.sim.now):
+            self.dcc.stats.beacons_throttled += 1
             return
         pv = self.position_vector()
         if self.pv_fault is not None:
@@ -322,6 +335,8 @@ class GeoNode:
             return
         self._down = False
         self.router.power_on()
+        if self.dcc is not None:
+            self.dcc.reset_state()
         self.channel.register(self.iface)
         if self._beaconing:
             self.beacon_service = self._make_beacon_service()

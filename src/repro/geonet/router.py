@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Set
 
 from repro.geo.areas import DestinationArea
-from repro.geonet.cbf import CbfForwarder
+from repro.geonet.cbf import CbfForwarder, SfotCbfForwarder
 from repro.geonet.gf import GreedyForwarder
 from repro.geonet.guc import UnicastService
 from repro.geonet.loct import LocationTable
@@ -48,6 +48,9 @@ class RouterStats:
     gf_rechecks: int = 0
     gf_lifetime_drops: int = 0
     gf_rhl_drops: int = 0
+    #: GF forwards held back by the reactive DCC gate and parked in the
+    #: recheck loop (they retry after ``gf_recheck_interval``).
+    gf_dcc_deferred: int = 0
     unicast_duplicates: int = 0
     out_of_area_broadcasts: int = 0
 
@@ -62,7 +65,10 @@ class GeoRouter:
         self.ledger = node.ledger
         self.loct = LocationTable(ttl=self.config.loct_ttl)
         self.gf = GreedyForwarder(self.config, self.loct)
-        self.cbf = CbfForwarder(
+        forwarder_cls = (
+            SfotCbfForwarder if self.config.cbf_variant == "sfot+" else CbfForwarder
+        )
+        self.cbf = forwarder_cls(
             sim=node.sim,
             config=self.config,
             get_position=node.position,
@@ -72,6 +78,7 @@ class GeoRouter:
             medium_busy=lambda: node.channel.medium_busy(node.position()),
             ledger=self.ledger,
             get_addr=lambda: node.address,
+            dcc=node.dcc,
         )
         self.unicast = UnicastService(self)
         self._seq = itertools.count(1)
@@ -252,6 +259,22 @@ class GeoRouter:
             exclude={self.node.address, packet.sender_addr},
         )
         if selection.next_hop is not None:
+            if self.node.dcc is not None and not self.node.dcc.allow(now):
+                # The access layer is rate-limiting this station: park the
+                # forward in the recheck loop (a DCC queue would hold the
+                # frame; the recheck re-selects against a fresher LocT).
+                self.stats.gf_dcc_deferred += 1
+                if ledger is not None:
+                    ledger.hop(
+                        "gbc", packet.packet_id, now, self.node.address,
+                        "dcc-defer",
+                    )
+                handle = self.node.sim.schedule(
+                    self.config.gf_recheck_interval, self._gf_route, packet, True
+                )
+                self._pending_rechecks.add(handle)
+                self._prune_rechecks()
+                return
             out = packet.next_hop_copy(
                 rhl=packet.rhl - 1,
                 sender_addr=self.node.address,

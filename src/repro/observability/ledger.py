@@ -59,6 +59,8 @@ class reasons:
     UNREACHABLE_NEXT_HOP = "unreachable-next-hop"
     RHL_EXHAUSTED = "rhl-exhausted"
     CBF_SUPPRESSED = "cbf-suppressed"
+    CBF_DEFER_EXHAUSTED = "cbf-defer-exhausted"
+    DCC_SUPPRESSED = "dcc-suppressed"
     EXPIRED_IN_BUFFER = "expired-in-buffer"
     LS_FAILURE = "ls-failure"
     LIFETIME_EXPIRED = "lifetime-expired"
@@ -73,6 +75,8 @@ DROP_REASONS: Tuple[str, ...] = (
     reasons.UNREACHABLE_NEXT_HOP,
     reasons.RHL_EXHAUSTED,
     reasons.CBF_SUPPRESSED,
+    reasons.CBF_DEFER_EXHAUSTED,
+    reasons.DCC_SUPPRESSED,
     reasons.EXPIRED_IN_BUFFER,
     reasons.LS_FAILURE,
     reasons.LIFETIME_EXPIRED,

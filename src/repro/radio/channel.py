@@ -367,8 +367,49 @@ class BroadcastChannel:
     def add_obstruction(
         self, blocks: Callable[[Position, Position], bool]
     ) -> None:
-        """Register a link obstruction predicate (True means link blocked)."""
+        """Register a link obstruction predicate (True means link blocked).
+
+        A predicate may optionally expose a vectorised ``blocks_many(tx_x,
+        tx_y, rx_x, rx_y) -> bool ndarray`` method; :meth:`block_mask` uses
+        it to keep batched (fleet) delivery off the per-pair Python path.
+        """
         self._obstructions.append(blocks)
+
+    @property
+    def has_obstructions(self) -> bool:
+        """True when at least one obstruction predicate is registered."""
+        return bool(self._obstructions)
+
+    def is_link_blocked(
+        self, tx_position: Position, receiver: RadioInterface
+    ) -> bool:
+        """Public obstruction check for a single (tx position, receiver) link."""
+        return self._is_blocked(tx_position, receiver)
+
+    def block_mask(self, tx_x, tx_y, rx_x, rx_y) -> np.ndarray:
+        """Vectorised obstruction check over parallel link-endpoint arrays.
+
+        Returns a boolean mask (True = blocked) the same length as the
+        inputs.  Predicates that provide ``blocks_many`` are evaluated in
+        one numpy call; plain ``(Position, Position) -> bool`` predicates
+        fall back to a per-pair loop over the links still unblocked.
+        """
+        n = len(tx_x)
+        blocked = np.zeros(n, dtype=bool)
+        scalar_preds = []
+        for blocks in self._obstructions:
+            blocks_many = getattr(blocks, "blocks_many", None)
+            if blocks_many is not None:
+                blocked |= np.asarray(blocks_many(tx_x, tx_y, rx_x, rx_y), dtype=bool)
+            else:
+                scalar_preds.append(blocks)
+        if scalar_preds:
+            for k in np.flatnonzero(~blocked):
+                a = Position(float(tx_x[k]), float(tx_y[k]))
+                b = Position(float(rx_x[k]), float(rx_y[k]))
+                if any(blocks(a, b) for blocks in scalar_preds):
+                    blocked[k] = True
+        return blocked
 
     def invalidate_positions(self) -> None:
         """Mark the cached position arrays stale (call after mobility steps)."""

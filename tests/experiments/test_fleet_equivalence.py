@@ -119,3 +119,53 @@ def test_tiny_batched_world_smoke():
     # completed sweeps prove grid/LocT/queue consistency in batched mode.
     assert world.invariant_checker is not None
     assert world.invariant_checker.checks_run > 0
+
+
+@pytest.mark.slow
+def test_batched_beacons_pass_through_gps_fault_hook():
+    """Regression for a suspected batched-path hole: fleet beacons must run
+    the fault layer's ``pv_fault`` transform exactly like per-node beacons
+    (``World._make_fleet_beacon`` applies it before signing).  Both paths
+    must report a comparable volume of faulted beacons."""
+    from repro.faults import GpsFaultPlan
+    from repro.faults.plan import FaultPlan
+
+    config = ExperimentConfig.inter_area_default(duration=20.0, seed=7).with_(
+        faults=FaultPlan(gps=GpsFaultPlan(error_stddev=50.0))
+    )
+    counts = {}
+    for batched in (False, True):
+        result = run_single(
+            config.with_(fleet_use_batched=batched), attacked=False
+        )
+        counts[batched] = result.extras["fault_gps_faulted_beacons"]
+    assert counts[False] > 0
+    assert counts[True] > 0
+    # Same beacon cadence contract, so the faulted-beacon volumes agree
+    # within a few percent (different jitter streams).
+    assert abs(counts[True] - counts[False]) / counts[False] < 0.10
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("attacked", [False, True])
+def test_batched_path_is_outcome_equivalent_with_obstructions(attacked):
+    """The urban scenario registers a shadowing obstruction, which routes
+    the batched tick through the vectorised ``Channel.block_mask`` filter
+    while the legacy path checks pairs one at a time — the two must stay
+    outcome-equivalent."""
+    config = ExperimentConfig.inter_area_default(duration=20.0, seed=7).urbanized(
+        streets_x=3, streets_y=3, block_size=200.0, inter_vehicle_space=80.0
+    )
+    results = {}
+    for batched in (False, True):
+        cfg = config.with_(fleet_use_batched=batched)
+        results[batched] = run_single(cfg, attacked=attacked)
+    legacy, batched = results[False], results[True]
+    assert batched.n_packets == legacy.n_packets
+    assert abs(batched.overall_rate - legacy.overall_rate) <= (
+        3.0 / max(legacy.n_packets, 1) + 1e-9
+    )
+    legacy_acc = legacy.extras["stats_router_beacons_accepted"]
+    batched_acc = batched.extras["stats_router_beacons_accepted"]
+    assert batched_acc > 0
+    assert abs(batched_acc - legacy_acc) / legacy_acc < 0.10

@@ -271,3 +271,78 @@ class TestDoneSetExpiry:
         h.cbf.mark_done((9, 9), expires_at=10.0)  # later, shorter: ignored
         self.sweep(h, 50.0)
         assert h.cbf.has_processed((9, 9))
+
+
+class TestCsmaDeferExhaustion:
+    """A copy whose defer budget runs out gets exactly one terminal outcome."""
+
+    def make_harness(self, busy, ledger=None):
+        from repro.geonet.cbf import _MAX_CSMA_DEFERS  # noqa: F401
+
+        sim = Simulator()
+        delivered, broadcasts = [], []
+        cbf = CbfForwarder(
+            sim=sim,
+            config=CONFIG,
+            get_position=lambda: Position(300, 0),
+            deliver=delivered.append,
+            broadcast=lambda p, rhl: broadcasts.append((p, rhl)),
+            medium_busy=busy,
+            ledger=ledger,
+        )
+        return sim, cbf, broadcasts
+
+    def test_exhausted_copy_is_dropped_not_force_broadcast(self):
+        sim, cbf, broadcasts = self.make_harness(busy=lambda: True)
+        cbf.handle_broadcast(make_packet())
+        sim.run_until(5.0)
+        from repro.geonet.cbf import _MAX_CSMA_DEFERS
+
+        assert cbf.stats.csma_defers == _MAX_CSMA_DEFERS
+        assert cbf.stats.csma_defer_exhaustions == 1
+        assert broadcasts == []
+        assert cbf._buffers == {}
+
+    def test_medium_clearing_mid_budget_still_broadcasts(self):
+        state = {"busy": True}
+        sim, cbf, broadcasts = self.make_harness(busy=lambda: state["busy"])
+        cbf.handle_broadcast(make_packet())
+        # First expiry at ~0.077 s (300 m), defers every 1 ms:
+        # clear the medium a few defers into the budget.
+        sim.schedule(0.080, lambda: state.update(busy=False))
+        sim.run_until(5.0)
+        assert cbf.stats.csma_defer_exhaustions == 0
+        assert len(broadcasts) == 1
+
+    def test_exhaustion_is_a_terminal_ledger_outcome(self):
+        from repro.observability.ledger import PacketLedger, reasons
+
+        ledger = PacketLedger()
+        sim, cbf, _ = self.make_harness(busy=lambda: True, ledger=ledger)
+        packet = make_packet()
+        ledger.originated("gbc", packet.packet_id, 0.0, 1)
+        cbf.handle_broadcast(packet)
+        sim.run_until(5.0)
+        record = ledger.record("gbc", packet.packet_id)
+        assert record.outcome == reasons.CBF_DEFER_EXHAUSTED
+        # Conservation: exactly one terminal outcome for the one packet.
+        assert sum(ledger.outcome_totals().values()) == len(ledger)
+
+    def test_duplicate_during_defer_still_wins(self):
+        from repro.observability.ledger import PacketLedger, reasons
+
+        ledger = PacketLedger()
+        sim, cbf, broadcasts = self.make_harness(
+            busy=lambda: True, ledger=ledger
+        )
+        packet = make_packet(rhl=10)
+        ledger.originated("gbc", packet.packet_id, 0.0, 1)
+        cbf.handle_broadcast(packet)
+        sim.run_until(0.080)  # a few defers in
+        cbf.handle_broadcast(make_packet(rhl=9, sender_x=500.0))
+        sim.run_until(5.0)
+        assert cbf.stats.suppressed_by_duplicate == 1
+        assert cbf.stats.csma_defer_exhaustions == 0
+        record = ledger.record("gbc", packet.packet_id)
+        assert record.outcome == reasons.CBF_SUPPRESSED
+        assert sum(ledger.outcome_totals().values()) == len(ledger)

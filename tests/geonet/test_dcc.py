@@ -1,0 +1,105 @@
+"""Tests for the reactive DCC access-layer gate."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.dcc import DccGate
+from repro.sim.engine import Simulator
+
+CONFIG = GeoNetConfig(
+    dcc_enabled=True,
+    dcc_cbr_alpha=0.5,
+    dcc_cbr_low=0.30,
+    dcc_cbr_high=0.60,
+    dcc_gap_relaxed=0.0,
+    dcc_gap_active=0.1,
+    dcc_gap_restrictive=0.5,
+)
+
+
+class Harness:
+    def __init__(self, config=CONFIG):
+        self.sim = Simulator()
+        self.busy = False
+        self.gate = DccGate(self.sim, config, lambda: self.busy)
+
+
+def make_gate(config=CONFIG):
+    return Harness(config)
+
+
+class TestMeasurement:
+    def test_cbr_is_ewma_of_samples(self):
+        h = make_gate()
+        h.busy = True
+        h.gate.observe(1.0)
+        assert h.gate.cbr == pytest.approx(0.5)
+        h.gate.observe(2.0)
+        assert h.gate.cbr == pytest.approx(0.75)
+        h.busy = False
+        h.gate.observe(3.0)
+        assert h.gate.cbr == pytest.approx(0.375)
+
+    def test_one_sample_per_instant(self):
+        h = make_gate()
+        h.busy = True
+        h.gate.observe(1.0)
+        h.gate.observe(1.0)  # same instant: no second sample
+        assert h.gate.stats.samples == 1
+        assert h.gate.cbr == pytest.approx(0.5)
+
+    def test_state_thresholds_select_gaps(self):
+        h = make_gate()
+        assert h.gate.min_gap() == 0.0  # relaxed at cbr 0
+        h.gate._cbr = 0.5
+        assert h.gate.min_gap() == pytest.approx(0.1)
+        h.gate._cbr = 0.9
+        assert h.gate.min_gap() == pytest.approx(0.5)
+
+
+class TestGating:
+    def test_relaxed_state_admits_everything(self):
+        h = make_gate()
+        for t in (0.0, 0.01, 0.02):
+            assert h.gate.allow(t)
+        assert h.gate.stats.tx_throttled == 0
+
+    def test_busy_channel_enforces_min_gap(self):
+        h = make_gate()
+        h.busy = True
+        # Every allow() samples a busy channel, pushing the CBR estimate
+        # through active (0.5) into restrictive (0.75, 0.875, ...).
+        assert h.gate.allow(0.01)  # first tx: no prior tx to gap against
+        assert not h.gate.allow(0.2)  # 0.19 s later: inside the 0.5 s gap
+        assert h.gate.allow(0.60)  # 0.59 s later: admitted
+        assert h.gate.stats.tx_throttled == 1
+        assert h.gate.stats.tx_allowed == 2
+
+    def test_reset_state_wipes_estimate_and_gap(self):
+        h = make_gate()
+        h.busy = True
+        h.gate.observe(0.0)
+        h.gate.allow(0.01)
+        h.gate.reset_state()
+        assert h.gate.cbr == 0.0
+        h.busy = False
+        assert h.gate.allow(0.02)  # relaxed again, no carried-over last-tx
+
+
+class TestConfigValidation:
+    def test_alpha_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigError):
+            GeoNetConfig(dcc_cbr_alpha=0.0)
+
+    def test_thresholds_must_be_ordered(self):
+        with pytest.raises(ConfigError):
+            GeoNetConfig(dcc_cbr_low=0.7, dcc_cbr_high=0.6)
+
+    def test_gaps_must_be_monotone(self):
+        with pytest.raises(ConfigError):
+            GeoNetConfig(dcc_gap_active=0.5, dcc_gap_restrictive=0.1)
+
+    def test_variant_names_validated(self):
+        with pytest.raises(ConfigError):
+            GeoNetConfig(cbf_variant="flooding")

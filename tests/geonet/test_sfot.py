@@ -1,0 +1,156 @@
+"""Tests for the S-FoT+ sectorial CBF variant."""
+
+import pytest
+
+from repro.geo.areas import CircularArea, RectangularArea
+from repro.geo.position import Position, PositionVector
+from repro.geonet.cbf import CbfForwarder, SfotCbfForwarder
+from repro.geonet.config import GeoNetConfig
+from repro.geonet.packets import GbcBody, GeoBroadcastPacket
+from repro.security.ca import CertificateAuthority
+from repro.security.signing import sign
+from repro.sim.engine import Simulator
+
+CONFIG = GeoNetConfig(
+    to_min=0.001,
+    to_max=0.100,
+    dist_max=1283.0,
+    cbf_variant="sfot+",
+    sfot_sector_deg=120.0,
+    sfot_dup_threshold=2,
+)
+_CA = CertificateAuthority()
+_CREDS = _CA.enroll("sfot-test-source")
+
+# Destination area centred far east of the sender at the origin: the
+# contention sector opens eastward.
+AREA = CircularArea(Position(1000.0, 0.0), 50.0)
+
+
+def make_packet(seq=1, rhl=10, sender=Position(0.0, 0.0), area=AREA):
+    body = GbcBody(
+        source_addr=1,
+        sequence_number=seq,
+        source_pv=PositionVector(Position(0, 0), 0.0, 0.0, 0.0),
+        area=area,
+        payload="flood",
+        lifetime=60.0,
+        created_at=0.0,
+    )
+    return GeoBroadcastPacket(
+        signed=sign(body, _CREDS), rhl=rhl, sender_addr=1, sender_position=sender
+    )
+
+
+class Harness:
+    def __init__(self, x=300.0, y=0.0, config=CONFIG, cls=SfotCbfForwarder):
+        self.sim = Simulator()
+        self.delivered = []
+        self.broadcasts = []
+        self.cbf = cls(
+            sim=self.sim,
+            config=config,
+            get_position=lambda: Position(x, y),
+            deliver=self.delivered.append,
+            broadcast=lambda p, rhl: self.broadcasts.append((p, rhl)),
+        )
+
+
+class TestSector:
+    def test_receiver_toward_area_contends(self):
+        h = Harness(x=300.0, y=0.0)  # dead ahead of sender->area
+        h.cbf.handle_broadcast(make_packet())
+        assert len(h.delivered) == 1
+        assert h.cbf.stats.buffered == 1
+        assert h.cbf.stats.sector_skips == 0
+
+    def test_receiver_behind_sender_delivers_but_never_contends(self):
+        h = Harness(x=-300.0, y=0.0)  # opposite the area direction
+        h.cbf.handle_broadcast(make_packet())
+        assert len(h.delivered) == 1
+        assert h.cbf.stats.buffered == 0
+        assert h.cbf.stats.sector_skips == 1
+        h.sim.run_until(1.0)
+        assert h.broadcasts == []
+
+    def test_sector_edge_uses_configured_angle(self):
+        # 120 deg sector: half-angle 60 deg.  At 59 deg off-axis: inside.
+        inside = Harness(x=100.0, y=166.0)  # atan(166/100) ~ 58.9 deg
+        inside.cbf.handle_broadcast(make_packet())
+        assert inside.cbf.stats.buffered == 1
+        outside = Harness(x=100.0, y=180.0)  # ~60.9 deg
+        outside.cbf.handle_broadcast(make_packet())
+        assert outside.cbf.stats.buffered == 0
+        assert outside.cbf.stats.sector_skips == 1
+
+    def test_sender_at_area_center_means_everyone_contends(self):
+        area = RectangularArea(-100.0, 100.0, -100.0, 100.0)
+        h = Harness(x=-50.0, y=0.0)
+        h.cbf.handle_broadcast(make_packet(area=area))
+        assert h.cbf.stats.buffered == 1
+
+    def test_skipped_receiver_ignores_late_duplicates(self):
+        h = Harness(x=-300.0, y=0.0)
+        h.cbf.handle_broadcast(make_packet())
+        h.cbf.handle_broadcast(make_packet())
+        assert h.cbf.stats.late_duplicates_ignored == 1
+
+
+class TestDuplicateThreshold:
+    def test_single_duplicate_does_not_cancel(self):
+        h = Harness(x=300.0, y=0.0)
+        h.cbf.handle_broadcast(make_packet(rhl=10))
+        h.cbf.handle_broadcast(make_packet(rhl=9, sender=Position(500.0, 0.0)))
+        assert h.cbf.stats.suppressed_by_duplicate == 0
+        assert h.cbf.stats.dup_below_threshold == 1
+        h.sim.run_until(1.0)
+        # The buffered copy survived the lone duplicate and was forwarded.
+        assert len(h.broadcasts) == 1
+
+    def test_threshold_duplicates_cancel(self):
+        h = Harness(x=300.0, y=0.0)
+        h.cbf.handle_broadcast(make_packet(rhl=10))
+        h.cbf.handle_broadcast(make_packet(rhl=9, sender=Position(500.0, 0.0)))
+        h.cbf.handle_broadcast(make_packet(rhl=9, sender=Position(200.0, 0.0)))
+        assert h.cbf.stats.suppressed_by_duplicate == 1
+        h.sim.run_until(1.0)
+        assert h.broadcasts == []
+
+    def test_threshold_one_matches_stock_cbf(self):
+        config = GeoNetConfig(
+            to_min=0.001, to_max=0.100, dist_max=1283.0,
+            cbf_variant="sfot+", sfot_dup_threshold=1,
+        )
+        h = Harness(x=300.0, y=0.0, config=config)
+        h.cbf.handle_broadcast(make_packet(rhl=10))
+        h.cbf.handle_broadcast(make_packet(rhl=9, sender=Position(500.0, 0.0)))
+        assert h.cbf.stats.suppressed_by_duplicate == 1
+
+    def test_implausible_rhl_duplicates_do_not_count(self):
+        config = GeoNetConfig(
+            to_min=0.001, to_max=0.100, dist_max=1283.0,
+            cbf_variant="sfot+", sfot_dup_threshold=2, rhl_check=True,
+        )
+        h = Harness(x=300.0, y=0.0, config=config)
+        h.cbf.handle_broadcast(make_packet(rhl=10))
+        for _ in range(3):
+            h.cbf.handle_broadcast(
+                make_packet(rhl=1, sender=Position(500.0, 0.0))
+            )
+        assert h.cbf.stats.rhl_check_rejections == 3
+        assert h.cbf.stats.suppressed_by_duplicate == 0
+        assert h.cbf.stats.dup_below_threshold == 0
+
+
+class TestVariantSelection:
+    def test_stock_cbf_cancels_on_first_duplicate(self):
+        h = Harness(x=300.0, y=0.0, cls=CbfForwarder)
+        h.cbf.handle_broadcast(make_packet(rhl=10))
+        h.cbf.handle_broadcast(make_packet(rhl=9, sender=Position(500.0, 0.0)))
+        assert h.cbf.stats.suppressed_by_duplicate == 1
+
+    def test_sector_config_validated(self):
+        with pytest.raises(Exception):
+            GeoNetConfig(sfot_sector_deg=0.0)
+        with pytest.raises(Exception):
+            GeoNetConfig(sfot_dup_threshold=0)

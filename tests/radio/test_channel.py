@@ -144,6 +144,39 @@ def test_obstruction_blocks_link():
     assert len(same_rx) == 1
 
 
+def test_obstruction_public_api():
+    _sim, channel = make_channel()
+    assert not channel.has_obstructions
+    channel.add_obstruction(lambda a, b: (a.x - 50) * (b.x - 50) < 0)
+    assert channel.has_obstructions
+    receiver, _ = make_iface(channel, 80)
+    assert channel.is_link_blocked(Position(0, 0), receiver)
+    assert not channel.is_link_blocked(Position(60, 0), receiver)
+
+
+def test_block_mask_mixes_vector_and_scalar_predicates():
+    import numpy as np
+
+    _sim, channel = make_channel()
+    # A scalar-only predicate and one implementing the blocks_many protocol.
+    channel.add_obstruction(lambda a, b: a.x < 0)
+
+    class Vectorised:
+        def __call__(self, a, b):
+            return b.x > 100
+
+        def blocks_many(self, tx_x, tx_y, rx_x, rx_y):
+            return rx_x > 100
+
+    channel.add_obstruction(Vectorised())
+    tx_x = np.array([-1.0, 10.0, 10.0])
+    tx_y = np.zeros(3)
+    rx_x = np.array([50.0, 150.0, 50.0])
+    rx_y = np.zeros(3)
+    mask = channel.block_mask(tx_x, tx_y, rx_x, rx_y)
+    assert mask.tolist() == [True, True, False]
+
+
 def test_unregister_stops_delivery():
     sim, channel = make_channel()
     sender, _ = make_iface(channel, 0)

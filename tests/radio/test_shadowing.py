@@ -1,0 +1,110 @@
+"""Tests for the Manhattan corner-shadowing model."""
+
+import numpy as np
+import pytest
+
+from repro.geo.position import Position
+from repro.radio.shadowing import ManhattanShadowing
+
+# A 3x3-street grid with 200 m blocks: streets at 0, 200, 400 on both
+# axes, 6 m LoS corridors, 20 m corner clearance.
+MODEL = ManhattanShadowing.for_grid(
+    3, 3, 200.0, half_width=6.0, corner_clearance=20.0
+)
+
+
+class TestLineOfSight:
+    def test_same_horizontal_street_is_clear(self):
+        # Both on the y=200 street (within the corridor half-width).
+        assert not MODEL(Position(10.0, 198.0), Position(390.0, 202.0))
+
+    def test_same_vertical_street_is_clear(self):
+        assert not MODEL(Position(201.0, 10.0), Position(199.0, 390.0))
+
+    def test_cross_street_is_blocked(self):
+        # One on y=0, one on y=200, both mid-block: buildings in between.
+        assert MODEL(Position(100.0, 0.0), Position(100.0, 200.0))
+
+    def test_mid_block_positions_are_blocked_from_everywhere(self):
+        # Inside a building block (on no street corridor at all).
+        inside = Position(100.0, 100.0)
+        assert MODEL(inside, Position(100.0, 0.0))
+        assert MODEL(Position(100.0, 0.0), inside)
+
+    def test_parallel_streets_are_blocked(self):
+        assert MODEL(Position(50.0, 0.0), Position(50.0, 400.0))
+
+
+class TestCornerClearance:
+    def test_both_near_common_intersection_is_clear(self):
+        # 15 m down each arm of the (200, 200) intersection: diffraction
+        # carries the signal around the corner.
+        a = Position(185.0, 200.0)  # on the horizontal street
+        b = Position(200.0, 215.0)  # on the vertical street
+        assert not MODEL(a, b)
+
+    def test_one_endpoint_too_far_from_corner_is_blocked(self):
+        a = Position(185.0, 200.0)  # 15 m from the corner
+        b = Position(200.0, 260.0)  # 60 m from it, around the corner
+        assert MODEL(a, b)
+
+    def test_different_intersections_do_not_help(self):
+        # Each endpoint near *a* corner, but not the same one.
+        a = Position(15.0, 0.0)  # near (0, 0)
+        b = Position(400.0, 15.0)  # near (400, 0)
+        assert MODEL(a, b)
+
+    def test_zero_clearance_disables_corner_diffraction(self):
+        model = ManhattanShadowing.for_grid(
+            3, 3, 200.0, half_width=6.0, corner_clearance=0.0
+        )
+        # 10 m down each arm of the (200, 200) corner: on different streets
+        # and clear of each other's corridors.
+        a = Position(190.0, 200.0)
+        b = Position(200.0, 190.0)
+        assert model(a, b)
+        assert not MODEL(a, b)  # the 20 m-clearance model connects them
+
+
+class TestVectorizedMask:
+    def test_blocks_many_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        tx = rng.uniform(-20.0, 420.0, size=(2, 200))
+        rx = rng.uniform(-20.0, 420.0, size=(2, 200))
+        mask = MODEL.blocks_many(tx[0], tx[1], rx[0], rx[1])
+        for k in range(tx.shape[1]):
+            scalar = MODEL(
+                Position(tx[0][k], tx[1][k]), Position(rx[0][k], rx[1][k])
+            )
+            assert bool(mask[k]) == scalar
+
+    def test_empty_input_gives_empty_mask(self):
+        empty = np.array([])
+        assert MODEL.blocks_many(empty, empty, empty, empty).shape == (0,)
+
+
+class TestGeometryHelpers:
+    def test_on_street(self):
+        assert MODEL.on_street(Position(100.0, 3.0))
+        assert not MODEL.on_street(Position(100.0, 100.0))
+
+    def test_intersections_enumerate_the_grid(self):
+        points = MODEL.intersections()
+        assert len(points) == 9
+        assert Position(200.0, 200.0) in points
+
+
+class TestValidation:
+    def test_needs_a_street_per_axis(self):
+        with pytest.raises(ValueError):
+            ManhattanShadowing.for_grid(0, 3, 200.0, half_width=6.0)
+
+    def test_half_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ManhattanShadowing.for_grid(3, 3, 200.0, half_width=0.0)
+
+    def test_negative_clearance_rejected(self):
+        with pytest.raises(ValueError):
+            ManhattanShadowing.for_grid(
+                3, 3, 200.0, half_width=6.0, corner_clearance=-1.0
+            )
