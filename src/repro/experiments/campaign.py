@@ -30,7 +30,6 @@ re-issued campaign costs only the missing runs.
 from __future__ import annotations
 
 import multiprocessing
-import signal
 import sys
 import time
 from dataclasses import dataclass, field
@@ -50,8 +49,21 @@ from repro.experiments.figures import (
 from repro.experiments.impairments import fault_sweep
 from repro.experiments.metrics import BinnedRates
 from repro.experiments.urban import urban_sweep
-from repro.experiments.runner import AbResult, RunResult, expand_jobs, run_single
-from repro.experiments.store import ResultStore, RunKey, config_hash
+from repro.experiments.runner import (
+    AbResult,
+    RunResult,
+    alarm_deadline,
+    expand_jobs,
+    run_single,
+)
+from repro.experiments.runner import RunTimeout  # noqa: F401 - re-export;
+# historic home of the class (pre-service revisions raised it from here).
+from repro.experiments.store import (
+    ResultStore,
+    ResultStoreBase,
+    RunKey,
+    config_hash,
+)
 
 
 class CampaignError(RuntimeError):
@@ -314,16 +326,19 @@ def plan_campaign(
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-class RunTimeout(RuntimeError):
-    """A run exceeded the per-run timeout (raised inside the worker)."""
-
-
 def execute_spec(spec: RunSpec) -> Any:
     """Execute one spec in the current process.
 
     Module-level so pool workers resolve it by name — tests may substitute
     it (via fork inheritance) to inject crashes, hangs and counters.
+
+    Id counters are reset first, so the produced record is bit-identical
+    whether this runs in a fresh pool process or as the N-th job of a
+    long-lived service worker.
     """
+    from repro.experiments.world import reset_id_counters
+
+    reset_id_counters()
     if spec.kind == "text":
         _params, render = TEXT_TARGETS[spec.target]
         return render(dict(spec.params or ()))
@@ -339,21 +354,11 @@ def _pool_worker(payload: Tuple[int, RunSpec, Optional[float]]) -> Tuple[int, st
     process death) returns nothing; the parent's watchdog handles that.
     """
     index, spec, timeout = payload
-    previous_handler = None
     try:
-        if timeout is not None and timeout > 0 and hasattr(signal, "SIGALRM"):
-            def _on_alarm(signum, frame):
-                raise RunTimeout(f"run exceeded {timeout:.0f}s")
-
-            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, timeout)
-        return (index, "ok", execute_spec(spec))
+        with alarm_deadline(timeout):
+            return (index, "ok", execute_spec(spec))
     except BaseException as exc:  # crash isolation: report, don't raise
         return (index, "error", f"{type(exc).__name__}: {exc}")
-    finally:
-        if previous_handler is not None:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous_handler)
 
 
 # ----------------------------------------------------------------------
@@ -371,6 +376,8 @@ class CampaignReport:
     wall_time_s: float = 0.0
     outputs: Dict[str, str] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    #: target -> coverage note for artefacts assembled from a partial store
+    partial_targets: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -520,20 +527,50 @@ def _execute_specs(
 # ----------------------------------------------------------------------
 # assembly: figures from precomputed store results
 # ----------------------------------------------------------------------
-def store_runner(store: ResultStore, target: str):
-    """An AbRunner that assembles AbResults from stored RunResults."""
+def store_runner(
+    store: "ResultStore", target: str, *, partial: bool = False, coverage=None
+):
+    """An AbRunner that assembles AbResults from stored RunResults.
+
+    With ``partial=True`` missing runs are skipped instead of raising, so
+    figures render from whatever fraction of the campaign is stored — the
+    streaming-aggregation path behind ``--partial`` and the status view.
+    A seed-paired A/B setting only keeps pairs whose *both* sides are
+    stored (a lone attacked run would bias the comparison).  ``coverage``
+    (a 2-item list) accumulates ``[stored, planned]`` run counts.
+    """
 
     def runner(
         config: ExperimentConfig, *, runs: int, processes: int = 1
     ) -> AbResult:
-        af_runs: List[RunResult] = []
-        atk_runs: List[RunResult] = []
+        by_seed: Dict[int, Dict[bool, Optional[RunResult]]] = {}
+        attacks_planned = False
+        planned = 0
         for cfg, attacked, seed in expand_jobs(config, runs):
             key = RunKey.for_config(target, cfg, seed=seed, attacked=attacked)
             result = store.get_run(key)
-            if result is None:
+            planned += 1
+            attacks_planned = attacks_planned or attacked
+            if result is None and not partial:
                 raise MissingRunError(key)
-            (atk_runs if attacked else af_runs).append(result)
+            by_seed.setdefault(seed, {})[attacked] = result
+        af_runs: List[RunResult] = []
+        atk_runs: List[RunResult] = []
+        stored = 0
+        for seed in sorted(by_seed):
+            pair = by_seed[seed]
+            stored += sum(1 for r in pair.values() if r is not None)
+            complete = pair.get(False) is not None and (
+                not attacks_planned or pair.get(True) is not None
+            )
+            if not complete:
+                continue
+            af_runs.append(pair[False])
+            if attacks_planned:
+                atk_runs.append(pair[True])
+        if coverage is not None:
+            coverage[0] += stored
+            coverage[1] += planned
         return AbResult(config=config, af_runs=af_runs, atk_runs=atk_runs)
 
     return runner
@@ -541,34 +578,51 @@ def store_runner(store: ResultStore, target: str):
 
 def assemble_target(
     target: str,
-    store: ResultStore,
+    store: "ResultStore",
     *,
     runs: int,
     duration: float,
     seed: int,
-) -> str:
+    partial: bool = False,
+):
     """Render a target's artefact purely from stored results.
 
     Raises :class:`MissingRunError` when a required run is absent (e.g.
     recorded as failed) — re-issue the campaign with ``--resume`` to fill
-    the gaps.
+    the gaps.  With ``partial=True`` an A/B target renders from the
+    stored subset instead and the return value becomes ``(text, note)``
+    where ``note`` states the coverage (``"partial: 17/48 runs
+    stored"``); a target with *zero* stored runs still raises.
     """
     if target in TEXT_TARGETS:
         spec = plan_target(target, runs=runs, duration=duration, seed=seed)[0]
         text = store.get_text(spec.key)
         if text is None:
             raise MissingRunError(spec.key)
-        return text
+        return (text, "complete") if partial else text
     if target not in AB_TARGETS:
         raise CampaignError(f"unknown campaign target {target!r}")
+    coverage = [0, 0]
     artefact = AB_TARGETS[target](
         runs=runs,
         duration=duration,
         processes=1,
         seed=seed,
-        runner=store_runner(store, target),
+        runner=store_runner(store, target, partial=partial, coverage=coverage),
     )
-    return artefact.format()
+    if not partial:
+        return artefact.format()
+    stored, planned = coverage
+    if stored == 0 and planned > 0:
+        first = plan_target(target, runs=runs, duration=duration, seed=seed)[0]
+        raise MissingRunError(first.key)
+    from repro.experiments.reporting import coverage_note
+
+    note = coverage_note(stored, planned)
+    text = artefact.format()
+    if stored < planned:
+        text = f"{text}\n  note: {note}"
+    return text, note
 
 
 # ----------------------------------------------------------------------
@@ -577,7 +631,7 @@ def assemble_target(
 def run_campaign(
     targets: Sequence[str],
     *,
-    store: Optional[ResultStore] = None,
+    store: Optional[ResultStoreBase] = None,
     runs: int = 3,
     duration: float = 200.0,
     seed: int = 1,
@@ -585,6 +639,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 1,
     resume: bool = False,
+    partial: bool = False,
     log_stream=sys.stderr,
 ) -> CampaignReport:
     """Plan, execute and assemble a full campaign.
@@ -592,7 +647,10 @@ def run_campaign(
     With ``resume=True`` runs already in the store are skipped; failures
     recorded by earlier campaigns are always retried.  The report carries
     the rendered artefact of every target whose runs all succeeded
-    (``outputs``) and an error note for the rest (``errors``).
+    (``outputs``) and an error note for the rest (``errors``).  With
+    ``partial=True`` a target with missing runs renders from the stored
+    subset instead (coverage note in ``partial_targets``) — the same
+    streaming-aggregation path the lease scheduler offers.
     """
     if retries < 0:
         raise CampaignError("retries must be >= 0")
@@ -632,6 +690,18 @@ def run_campaign(
                 target, store, runs=runs, duration=duration, seed=seed
             )
         except MissingRunError as exc:
+            if partial:
+                try:
+                    text, note = assemble_target(
+                        target, store, runs=runs, duration=duration,
+                        seed=seed, partial=True,
+                    )
+                    report.outputs[target] = text
+                    report.partial_targets[target] = note
+                    _log(log_stream, f"assembled {target} partially ({note})")
+                    continue
+                except MissingRunError:
+                    pass
             report.errors[target] = str(exc)
             _log(log_stream, f"cannot assemble {target}: {exc}")
     report.wall_time_s = time.time() - started

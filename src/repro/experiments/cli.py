@@ -7,6 +7,8 @@ Examples::
     repro-experiments fig7a --save --results-dir results --processes 8
     repro-experiments campaign all --resume --processes 8 --timeout 900
     repro-experiments campaign fig7 fig9 fig14a --resume
+    repro-experiments campaign all --backend sqlite --workers 4 --status-port 8642
+    repro-experiments status all --backend sqlite
     repro-experiments explain inter-area --runs 2 --duration 100
     repro-experiments faults --runs 2 --duration 100 --processes 8
 
@@ -15,7 +17,11 @@ individual simulation run lands in the persistent result store as it
 finishes, so an interrupted campaign re-issued with ``--resume`` executes
 only the missing runs (this replaces the old ``run_remaining*.sh``
 restart scripts, which re-ran everything).  ``--save`` on a single target
-routes it through the same store.
+routes it through the same store.  ``--backend sqlite`` keeps the records
+in one WAL database instead of one file per run, and ``--workers N``
+switches to the lease-based service scheduler: N independent worker
+processes that heartbeat their jobs and survive SIGKILL at any point
+(``status`` / ``--status-port`` expose live progress counters).
 
 ``explain`` runs seed-paired A/B simulations with the packet-lifecycle
 ledger enabled and reports where every application packet died — the
@@ -55,11 +61,28 @@ from repro.experiments.figures import (
     fig14,
     tables,
 )
-from repro.experiments.store import DEFAULT_RESULTS_DIR, ResultStore
+from repro.experiments.store import (
+    DEFAULT_RESULTS_DIR,
+    STORE_BACKENDS,
+    open_store,
+)
 
-#: Targets that are single whole runs: ``--runs``/``--processes`` do not
-#: apply (warned about on stderr instead of silently ignored).
+#: Targets that are single whole runs: per-run fan-out flags do not apply
+#: (warned about on stderr instead of silently ignored).
 _SINGLE_RUN_TARGETS = ("table1", "table2", "fig12a", "fig12b", "fig13")
+
+#: (flag, namespace attribute, default) of every flag that only changes
+#: how *many parallel runs* execute — meaningless for a single
+#: deterministic run, whichever scheduler is in use.  The scheduler flags
+#: (``--workers``, ``--lease-ttl``, ``--heartbeat``) are warned about
+#: exactly like the historical ``--runs``/``--processes``.
+_FANOUT_FLAGS = (
+    ("--runs", "runs", 3),
+    ("--processes", "processes", 1),
+    ("--workers", "workers", 0),
+    ("--lease-ttl", "lease_ttl", 60.0),
+    ("--heartbeat", "heartbeat", None),
+)
 
 
 def _emit(text: str) -> None:
@@ -72,10 +95,10 @@ def _warn_ignored_flags(name: str, args: argparse.Namespace) -> None:
     if name not in _SINGLE_RUN_TARGETS:
         return
     ignored = []
-    if args.runs != 3:
-        ignored.append(f"--runs {args.runs}")
-    if args.processes != 1:
-        ignored.append(f"--processes {args.processes}")
+    for flag, attr, default in _FANOUT_FLAGS:
+        value = getattr(args, attr, default)
+        if value != default:
+            ignored.append(f"{flag} {value}")
     if name == "fig13" and args.duration != 200.0:
         ignored.append(f"--duration {args.duration}")
     if ignored:
@@ -152,32 +175,74 @@ def _run_target(name: str, args: argparse.Namespace) -> None:
     print(f"[{name} done in {time.time() - started:.1f}s]", file=sys.stderr)
 
 
+def _open_store(args: argparse.Namespace):
+    try:
+        return open_store(
+            args.results_dir, backend=getattr(args, "backend", "json")
+        )
+    except Exception as exc:
+        raise SystemExit(f"cannot open result store: {exc}")
+
+
 def _run_saved(targets: List[str], args: argparse.Namespace) -> int:
     """Route targets through the store (``--save`` / ``campaign``).
 
     Stored runs are reused, missing ones are executed and stored, and the
     artefacts are assembled from the store.  Exit status is non-zero when
     any run stayed failed or any artefact could not be assembled.
+
+    ``--workers N`` switches from the classic in-process pool to the
+    lease-based service scheduler: N independent worker processes against
+    the shared store, each surviving SIGKILL at any point.
     """
-    store = ResultStore(args.results_dir)
+    store = _open_store(args)
     for name in targets:
         _warn_ignored_flags(name, args)
+    workers = getattr(args, "workers", 0)
     try:
-        report = run_campaign(
-            targets,
-            store=store,
-            runs=args.runs,
-            duration=args.duration,
-            seed=args.seed,
-            processes=args.processes,
-            timeout=args.timeout,
-            retries=args.retries,
-            resume=args.resume,
-        )
-    except CampaignError as exc:
+        if workers:
+            from repro.experiments.service.scheduler import run_service_campaign
+
+            if not getattr(args, "resume", True):
+                print(
+                    "warning: the lease scheduler always resumes from the "
+                    "store; ignoring --no-resume",
+                    file=sys.stderr,
+                )
+            report = run_service_campaign(
+                targets,
+                store=store,
+                workers=workers,
+                runs=args.runs,
+                duration=args.duration,
+                seed=args.seed,
+                timeout=args.timeout,
+                retries=args.retries,
+                lease_ttl=getattr(args, "lease_ttl", None),
+                heartbeat_interval=getattr(args, "heartbeat", None),
+                status_port=getattr(args, "status_port", None),
+                partial=getattr(args, "partial", False),
+                log_stream=sys.stderr,
+            )
+        else:
+            report = run_campaign(
+                targets,
+                store=store,
+                runs=args.runs,
+                duration=args.duration,
+                seed=args.seed,
+                processes=args.processes,
+                timeout=args.timeout,
+                retries=args.retries,
+                resume=args.resume,
+                partial=getattr(args, "partial", False),
+            )
+    except (CampaignError, ValueError) as exc:
         raise SystemExit(str(exc))
     for name, text in report.outputs.items():
         _emit(text)
+    for name, note in getattr(report, "partial_targets", {}).items():
+        print(f"note: {name}: {note}", file=sys.stderr)
     for name, error in report.errors.items():
         print(f"error: {name}: {error}", file=sys.stderr)
     return 0 if report.ok else 1
@@ -224,6 +289,14 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         "--results-dir",
         default=DEFAULT_RESULTS_DIR,
         help="persistent result store root (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(STORE_BACKENDS),
+        default="json",
+        help="result store backend: 'json' (one file per run, the "
+        "default) or 'sqlite' (one WAL database, for multi-worker "
+        "campaigns); records are interchangeable run for run",
     )
 
 
@@ -309,7 +382,82 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
         default=1,
         help="retries per run before recording a failure (default: %(default)s)",
     )
+    _add_scheduler_args(parser)
     return parser
+
+
+def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
+    """The lease-scheduler flags (campaign and sweep subcommands)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run via the lease scheduler with N independent worker "
+        "processes instead of the in-process pool (default: 0 = pool); "
+        "workers survive SIGKILL — the campaign resumes around them",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="seconds a worker's job lease lives without a heartbeat "
+        "before another worker may take the job over (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="S",
+        help="lease heartbeat interval (default: lease-ttl / 3)",
+    )
+    parser.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="serve read-only JSON progress counters on "
+        "http://127.0.0.1:P/status while the campaign runs (0 = any port)",
+    )
+    parser.add_argument(
+        "--partial",
+        action="store_true",
+        help="assemble targets from whatever runs are stored (with a "
+        "coverage note) instead of erroring on missing runs",
+    )
+
+
+def _validate_scheduler_args(args: argparse.Namespace) -> None:
+    if getattr(args, "workers", 0) < 0:
+        raise SystemExit("--workers must be >= 0")
+    if getattr(args, "lease_ttl", 60.0) <= 0:
+        raise SystemExit("--lease-ttl must be > 0")
+    heartbeat = getattr(args, "heartbeat", None)
+    if heartbeat is not None and not 0 < heartbeat < args.lease_ttl:
+        raise SystemExit("--heartbeat must be in (0, --lease-ttl)")
+    port = getattr(args, "status_port", None)
+    if port is not None and not 0 <= port <= 65535:
+        raise SystemExit("--status-port must be in [0, 65535]")
+    if getattr(args, "workers", 0) == 0:
+        # The pool path accepts but never reads the scheduler knobs; say
+        # so instead of silently swallowing them (mirrors the single-run
+        # target warnings).
+        ignored = [
+            f"{flag} {getattr(args, attr)}"
+            for flag, attr, default in (
+                ("--lease-ttl", "lease_ttl", 60.0),
+                ("--heartbeat", "heartbeat", None),
+                ("--status-port", "status_port", None),
+            )
+            if getattr(args, attr, default) != default
+        ]
+        if ignored:
+            print(
+                f"warning: {' and '.join(ignored)} only apply to the lease "
+                "scheduler; pass --workers N to enable it",
+                file=sys.stderr,
+            )
 
 
 def _build_sweep_parser(name: str, description: str) -> argparse.ArgumentParser:
@@ -336,7 +484,69 @@ def _build_sweep_parser(name: str, description: str) -> argparse.ArgumentParser:
         default=1,
         help="retries per run before recording a failure (default: %(default)s)",
     )
+    _add_scheduler_args(parser)
     return parser
+
+
+def _build_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments status",
+        description="Report campaign progress counters from the result "
+        "store (optionally serving them over read-only HTTP).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target",
+        help="targets whose progress to report; aliases: "
+        + ", ".join(sorted(TARGET_ALIASES)),
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the counters on http://127.0.0.1:PORT/status until "
+        "interrupted instead of printing them once (0 = any port)",
+    )
+    return parser
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.campaign import plan_campaign
+    from repro.experiments.service.status import StatusServer, progress_snapshot
+
+    store = _open_store(args)
+    try:
+        specs = plan_campaign(
+            args.targets, runs=args.runs, duration=args.duration, seed=args.seed
+        )
+    except CampaignError as exc:
+        raise SystemExit(str(exc))
+    if args.serve is None:
+        print(json.dumps(progress_snapshot(store, specs), indent=2))
+        return 0
+    server = StatusServer(
+        lambda: progress_snapshot(store, specs), port=args.serve
+    )
+    server.start()
+    print(
+        f"serving campaign status on http://127.0.0.1:{server.port}/status "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        import time as _time
+
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.stop()
 
 
 def _build_target_parser() -> argparse.ArgumentParser:
@@ -348,7 +558,7 @@ def _build_target_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=ALL_TARGETS + ["all", "fig7", "fig9", "campaign", "explain"],
+        choices=ALL_TARGETS + ["all", "fig7", "fig9", "campaign", "explain", "status"],
         help="which artefact to regenerate ('all' runs every one)",
     )
     _add_common_args(parser)
@@ -365,9 +575,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "campaign":
         args = _build_campaign_parser().parse_args(argv[1:])
+        _validate_scheduler_args(args)
         return _run_saved(args.targets, args)
     if argv and argv[0] == "explain":
         return _run_explain(_build_explain_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "status":
+        return _run_status(_build_status_parser().parse_args(argv[1:]))
     if argv and argv[0] == "faults":
         # Store-backed by design: the 9-cell x N-run grid is expensive, so
         # a re-issued sweep only costs the missing runs.
@@ -376,6 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Sweep the inter-area attack over a frame-loss x node-churn "
             "impairment grid (store-backed and resumable).",
         ).parse_args(argv[1:])
+        _validate_scheduler_args(args)
         return _run_saved(["faults"], args)
     if argv and argv[0] == "urban":
         # Same store-backed pattern as 'faults': the 2x2x2-per-attack grid
@@ -385,6 +599,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Sweep both attacks over {highway, urban} x {DCC off, on} x "
             "{CBF, S-FoT+} (store-backed and resumable).",
         ).parse_args(argv[1:])
+        _validate_scheduler_args(args)
         return _run_saved(["urban"], args)
     args = _build_target_parser().parse_args(argv)
     if args.target == "campaign":
@@ -393,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(
             "usage: repro-experiments explain <inter-area|intra-area>"
         )
+    if args.target == "status":
+        raise SystemExit("usage: repro-experiments status <targets...>")
     if args.save:
         # Single-target save behaves like a one-target resuming campaign.
         args.resume = True

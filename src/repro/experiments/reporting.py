@@ -16,6 +16,39 @@ def fmt_pct(value: Optional[float]) -> str:
     return f"{value:6.1%}" if value is not None else "   n/a"
 
 
+def coverage_note(stored: int, planned: int) -> str:
+    """How much of a target's run set backs a partially-assembled figure.
+
+    Appended as a ``note:`` line under artefacts rendered with
+    ``--partial``, so a figure built from half a campaign can never be
+    mistaken for the finished one.
+    """
+    if planned <= 0 or stored >= planned:
+        return "complete"
+    pct = 100.0 * stored / planned
+    return f"partial: {stored}/{planned} runs stored ({pct:.0f}%)"
+
+
+def format_progress(snapshot: Dict[str, object]) -> str:
+    """One log line from a campaign progress snapshot (the dict served by
+    the status endpoint — see
+    :func:`repro.experiments.service.status.progress_snapshot`)."""
+    parts = [
+        f"{snapshot.get('stored', 0)}/{snapshot.get('planned', 0)} stored "
+        f"({snapshot.get('percent', 0.0)}%)",
+        f"{snapshot.get('failures', 0)} failed",
+    ]
+    queue = snapshot.get("queue")
+    if isinstance(queue, dict):
+        parts.append(
+            f"queue: {queue.get('pending', 0)} pending, "
+            f"{queue.get('leased', 0)} leased, "
+            f"{queue.get('done', 0)} done, "
+            f"{queue.get('failed', 0)} failed"
+        )
+    return "campaign progress: " + ", ".join(parts)
+
+
 def _breakdown_totals(runs: Sequence[RunResult]) -> Counter:
     totals: Counter = Counter()
     for run in runs:

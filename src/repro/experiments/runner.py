@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import signal
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import AttackKind, ExperimentConfig
 from repro.experiments.metrics import (
@@ -23,6 +25,37 @@ from repro.experiments.metrics import (
 )
 from repro.experiments.world import World
 from repro.observability.ledger import PacketLedger
+
+
+class RunTimeout(RuntimeError):
+    """A run exceeded its wall-clock budget (raised in the executing
+    process by :func:`alarm_deadline`)."""
+
+
+@contextmanager
+def alarm_deadline(timeout: Optional[float]) -> Iterator[None]:
+    """Raise :class:`RunTimeout` in the current process after ``timeout``
+    wall-clock seconds (``SIGALRM``-based, single-threaded runs only).
+
+    ``None``/``0`` disables the guard, as does a platform without
+    ``SIGALRM``.  Shared by the campaign pool worker and the service
+    scheduler's lease workers so both enforce per-run budgets the same
+    way; the previous alarm handler is restored on exit.
+    """
+    if not timeout or timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {timeout:.0f}s")
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
 
 
 @dataclass

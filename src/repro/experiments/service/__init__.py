@@ -1,0 +1,46 @@
+"""The distributed campaign service layer.
+
+Splits the PR 2 single-process campaign runner into store-agnostic parts
+that scale to million-run sweeps:
+
+* :mod:`~repro.experiments.service.leases` — the lease-based job queue:
+  a pure state machine (pending → leased → done/failed with TTL expiry
+  and bounded attempts) plus two persistent queue implementations, one
+  per store backend (flock-serialised file queue, transactional SQLite
+  queue).
+* :mod:`~repro.experiments.service.scheduler` — worker processes that
+  lease jobs, heartbeat while simulating, and survive being SIGKILLed at
+  any point; plus :func:`run_service_campaign`, the multi-worker
+  counterpart of :func:`~repro.experiments.campaign.run_campaign`.
+* :mod:`~repro.experiments.service.status` — a read-only stdlib HTTP
+  endpoint serving live campaign progress counters.
+"""
+
+from repro.experiments.service.leases import (
+    FileLeaseQueue,
+    JobState,
+    Lease,
+    LeaseQueue,
+    LeaseStateMachine,
+    SqliteLeaseQueue,
+)
+from repro.experiments.service.scheduler import (
+    WorkerSettings,
+    run_service_campaign,
+    spawn_worker,
+)
+from repro.experiments.service.status import StatusServer, progress_snapshot
+
+__all__ = [
+    "FileLeaseQueue",
+    "JobState",
+    "Lease",
+    "LeaseQueue",
+    "LeaseStateMachine",
+    "SqliteLeaseQueue",
+    "StatusServer",
+    "WorkerSettings",
+    "progress_snapshot",
+    "run_service_campaign",
+    "spawn_worker",
+]

@@ -1,0 +1,553 @@
+"""The lease-based job queue behind the distributed campaign scheduler.
+
+The queue holds one *job* per planned campaign run (keyed by the run's
+store path, ``target/config-hash/s<seed>-<af|atk>``).  Workers *lease* a
+job for a TTL, *heartbeat* to keep the lease while the simulation runs,
+and either *complete* or *fail* it.  A worker that dies silently — power
+loss, OOM kill, SIGKILL — simply stops heartbeating: its lease expires
+and the job returns to the queue for any other worker, which is the whole
+crash-recovery story.  Attempts are counted per lease, so a job that
+keeps killing its workers ends ``failed`` after ``max_attempts`` instead
+of looping forever (the PR 2 watchdog's bounded retry, generalised).
+
+The transition rules live in one pure, clock-free class —
+:class:`LeaseStateMachine` — which the property-based suite
+(``tests/properties/test_lease_properties.py``) drives through arbitrary
+event interleavings.  The two persistent queues wrap that machine in a
+durable medium:
+
+* :class:`FileLeaseQueue` — queue state in one atomically-rewritten JSON
+  file, with every operation serialised by an ``flock`` on a sidecar lock
+  file.  Pairs with the per-file JSON result store.
+* :class:`SqliteLeaseQueue` — queue state in the ``jobs`` table of the
+  SQLite result store's own database, every operation one ``BEGIN
+  IMMEDIATE`` transaction.  Because it shares the store's connection, a
+  worker can commit "result stored + lease completed" atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional
+
+
+class JobState:
+    """The four job states.  String constants: they serialise as-is."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+
+    ALL = (PENDING, LEASED, DONE, FAILED)
+    TERMINAL = (DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A granted lease: which job, which attempt, until when."""
+
+    job_id: str
+    attempt: int
+    deadline: float
+
+
+@dataclass
+class _Job:
+    state: str = JobState.PENDING
+    worker: Optional[str] = None
+    deadline: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+class LeaseStateMachine:
+    """The pure lease protocol: every queue op as an explicit transition.
+
+    Time is a parameter, never read from a clock, so any interleaving of
+    ``lease`` / ``heartbeat`` / ``complete`` / ``fail`` at any timestamps
+    is replayable — the property tests exploit exactly that.  Invariants
+    the transitions maintain (and the tests assert):
+
+    * every job is in exactly one of the four states;
+    * at most one worker holds a live (unexpired) lease on a job;
+    * ``done`` and ``failed`` are terminal — no transition leaves them;
+    * operations by a worker whose lease has expired or was re-granted
+      are rejected (returned ``False``), never half-applied.
+    """
+
+    def __init__(self, *, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self._jobs: Dict[str, _Job] = {}
+
+    # -- setup ----------------------------------------------------------
+    def add(self, job_id: str) -> bool:
+        """Register a pending job; False if it already exists (unchanged)."""
+        if job_id in self._jobs:
+            return False
+        self._jobs[job_id] = _Job()
+        return True
+
+    # -- transitions ----------------------------------------------------
+    def _expired(self, job: _Job, now: float) -> bool:
+        return (
+            job.state == JobState.LEASED
+            and job.deadline is not None
+            and job.deadline <= now
+        )
+
+    def lease(self, worker: str, now: float, ttl: float) -> Optional[Lease]:
+        """Grant the first leasable job to ``worker``; None when drained.
+
+        Leasable: ``pending``, or ``leased`` with an expired deadline (the
+        crashed-worker path).  Expired jobs whose attempts are exhausted
+        flip to ``failed`` here rather than being granted again.
+        """
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            if self._expired(job, now):
+                if job.attempts >= self.max_attempts:
+                    self._fail_terminal(job, "lease expired; attempts exhausted")
+                    continue
+                job.state = JobState.PENDING
+                job.worker = None
+                job.deadline = None
+            if job.state != JobState.PENDING:
+                continue
+            job.state = JobState.LEASED
+            job.worker = worker
+            job.deadline = now + ttl
+            job.attempts += 1
+            return Lease(job_id=job_id, attempt=job.attempts, deadline=job.deadline)
+        return None
+
+    def heartbeat(self, worker: str, job_id: str, now: float, ttl: float) -> bool:
+        """Extend ``worker``'s lease; False when it no longer holds one."""
+        job = self._jobs.get(job_id)
+        if job is None or job.state != JobState.LEASED or job.worker != worker:
+            return False
+        if self._expired(job, now):
+            return False
+        job.deadline = now + ttl
+        return True
+
+    def complete(self, worker: str, job_id: str) -> bool:
+        """Mark ``worker``'s leased job done; False when it lost the lease.
+
+        Deliberately accepted even past the deadline *if nobody re-leased
+        the job yet*: the result is already persisted and deterministic,
+        so completing late loses nothing — only a lease actually re-granted
+        to someone else rejects the stale completer.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.state != JobState.LEASED or job.worker != worker:
+            return False
+        job.state = JobState.DONE
+        job.worker = None
+        job.deadline = None
+        return True
+
+    def fail(self, worker: str, job_id: str, error: str) -> Optional[str]:
+        """Report a failed attempt; the job retries or turns terminal.
+
+        Returns the job's resulting state, or None when ``worker`` no
+        longer held the lease (the report is then discarded).
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.state != JobState.LEASED or job.worker != worker:
+            return None
+        if job.attempts >= self.max_attempts:
+            self._fail_terminal(job, error)
+        else:
+            job.state = JobState.PENDING
+            job.worker = None
+            job.deadline = None
+            job.error = error
+        return job.state
+
+    def _fail_terminal(self, job: _Job, error: str) -> None:
+        job.state = JobState.FAILED
+        job.worker = None
+        job.deadline = None
+        job.error = error
+
+    # -- queries --------------------------------------------------------
+    def state_of(self, job_id: str) -> Optional[str]:
+        job = self._jobs.get(job_id)
+        return None if job is None else job.state
+
+    def holder_of(self, job_id: str, now: float) -> Optional[str]:
+        """The worker holding a live lease on ``job_id``, if any."""
+        job = self._jobs.get(job_id)
+        if job is None or job.state != JobState.LEASED or self._expired(job, now):
+            return None
+        return job.worker
+
+    def counts(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Jobs per state; with ``now``, expired leases count as pending."""
+        result = {state: 0 for state in JobState.ALL}
+        for job in self._jobs.values():
+            if now is not None and self._expired(job, now):
+                result[JobState.PENDING] += 1
+            else:
+                result[job.state] += 1
+        return result
+
+    def all_terminal(self, now: float) -> bool:
+        """True when no job is pending or holds a live lease."""
+        counts = self.counts(now)
+        return counts[JobState.PENDING] == 0 and counts[JobState.LEASED] == 0
+
+    def errors(self) -> Dict[str, str]:
+        """``{job_id: error}`` of the terminally failed jobs."""
+        return {
+            job_id: job.error or "failed"
+            for job_id, job in self._jobs.items()
+            if job.state == JobState.FAILED
+        }
+
+    # -- (de)serialisation ---------------------------------------------
+    def to_dict(self) -> Dict[str, Dict]:
+        return {
+            job_id: {
+                "state": job.state,
+                "worker": job.worker,
+                "deadline": job.deadline,
+                "attempts": job.attempts,
+                "error": job.error,
+            }
+            for job_id, job in self._jobs.items()
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Dict], *, max_attempts: int
+    ) -> "LeaseStateMachine":
+        machine = cls(max_attempts=max_attempts)
+        for job_id, fields in data.items():
+            machine._jobs[job_id] = _Job(
+                state=fields["state"],
+                worker=fields.get("worker"),
+                deadline=fields.get("deadline"),
+                attempts=int(fields.get("attempts", 0)),
+                error=fields.get("error"),
+            )
+        return machine
+
+
+# ----------------------------------------------------------------------
+# persistent queues
+# ----------------------------------------------------------------------
+class LeaseQueue:
+    """The durable queue contract shared by both backends.
+
+    All methods are safe to call from independent processes; ``clock`` is
+    injectable for tests but must be a wall clock in production — lease
+    deadlines are compared across processes.
+    """
+
+    def __init__(self, *, max_attempts: int = 3, clock: Callable[[], float] = time.time):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.clock = clock
+
+    def seed(self, job_ids: Iterable[str]) -> int:
+        """Register jobs as pending; existing jobs are left untouched.
+        Returns how many were newly added."""
+        raise NotImplementedError
+
+    def lease(self, worker: str, *, ttl: float) -> Optional[Lease]:
+        raise NotImplementedError
+
+    def heartbeat(self, worker: str, job_id: str, *, ttl: float) -> bool:
+        raise NotImplementedError
+
+    def complete(self, worker: str, job_id: str) -> bool:
+        raise NotImplementedError
+
+    def fail(self, worker: str, job_id: str, error: str) -> Optional[str]:
+        raise NotImplementedError
+
+    def counts(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def all_terminal(self) -> bool:
+        counts = self.counts()
+        return counts[JobState.PENDING] == 0 and counts[JobState.LEASED] == 0
+
+    def errors(self) -> Dict[str, str]:
+        raise NotImplementedError
+
+
+class FileLeaseQueue(LeaseQueue):
+    """Queue state in one JSON file, every operation under an ``flock``.
+
+    Queue operations are per *job* (a few per simulation run), not per
+    record, so a single exclusive lock is plenty — simplicity and
+    crash-safety over throughput.  The state file is rewritten atomically
+    (temp + ``os.replace``), so a worker killed mid-operation leaves the
+    previous consistent state behind and merely loses its own transition.
+    """
+
+    STATE_NAME = "queue.json"
+    LOCK_NAME = "queue.lock"
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        *,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.time,
+    ):
+        super().__init__(max_attempts=max_attempts, clock=clock)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._state_path = self.root / self.STATE_NAME
+        self._lock_path = self.root / self.LOCK_NAME
+
+    def _locked(self):
+        import fcntl
+        from contextlib import contextmanager
+
+        @contextmanager
+        def guard():
+            fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                os.close(fd)  # closing releases the flock
+
+        return guard()
+
+    def _load(self) -> LeaseStateMachine:
+        try:
+            with open(self._state_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+        return LeaseStateMachine.from_dict(data, max_attempts=self.max_attempts)
+
+    def _save(self, machine: LeaseStateMachine) -> None:
+        import tempfile
+
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=self.STATE_NAME + ".", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(machine.to_dict(), handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self._state_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _transact(self, fn):
+        with self._locked():
+            machine = self._load()
+            result = fn(machine)
+            self._save(machine)
+            return result
+
+    # -- queue ops ------------------------------------------------------
+    def seed(self, job_ids: Iterable[str]) -> int:
+        ids = list(job_ids)
+        return self._transact(lambda m: sum(1 for j in ids if m.add(j)))
+
+    def lease(self, worker: str, *, ttl: float) -> Optional[Lease]:
+        now = self.clock()
+        return self._transact(lambda m: m.lease(worker, now, ttl))
+
+    def heartbeat(self, worker: str, job_id: str, *, ttl: float) -> bool:
+        now = self.clock()
+        return self._transact(lambda m: m.heartbeat(worker, job_id, now, ttl))
+
+    def complete(self, worker: str, job_id: str) -> bool:
+        return self._transact(lambda m: m.complete(worker, job_id))
+
+    def fail(self, worker: str, job_id: str, error: str) -> Optional[str]:
+        return self._transact(lambda m: m.fail(worker, job_id, error))
+
+    def counts(self) -> Dict[str, int]:
+        with self._locked():
+            return self._load().counts(self.clock())
+
+    def errors(self) -> Dict[str, str]:
+        with self._locked():
+            return self._load().errors()
+
+
+class SqliteLeaseQueue(LeaseQueue):
+    """Queue state in the SQLite store's ``jobs`` table.
+
+    Shares the :class:`~repro.experiments.sqlite_store.SqliteResultStore`
+    connection, so calls made inside ``store.batch()`` join the store's
+    transaction — that is how a worker persists its result and completes
+    its lease in one atomic commit.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.time,
+    ):
+        super().__init__(max_attempts=max_attempts, clock=clock)
+        self.store = store
+
+    # -- queue ops ------------------------------------------------------
+    def seed(self, job_ids: Iterable[str]) -> int:
+        added = 0
+        with self.store._txn() as conn:
+            for job_id in job_ids:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO jobs (job_id, state, attempts) "
+                    "VALUES (?, ?, 0)",
+                    (job_id, JobState.PENDING),
+                )
+                added += cursor.rowcount
+        return added
+
+    def lease(self, worker: str, *, ttl: float) -> Optional[Lease]:
+        now = self.clock()
+        with self.store._txn() as conn:
+            # Expired leases out of attempts turn failed in the same sweep.
+            conn.execute(
+                "UPDATE jobs SET state=?, worker=NULL, deadline=NULL, "
+                "error='lease expired; attempts exhausted' "
+                "WHERE state=? AND deadline<=? AND attempts>=?",
+                (JobState.FAILED, JobState.LEASED, now, self.max_attempts),
+            )
+            row = conn.execute(
+                "SELECT job_id, attempts FROM jobs "
+                "WHERE state=? OR (state=? AND deadline<=?) "
+                "ORDER BY job_id LIMIT 1",
+                (JobState.PENDING, JobState.LEASED, now),
+            ).fetchone()
+            if row is None:
+                return None
+            job_id, attempts = row
+            deadline = now + ttl
+            conn.execute(
+                "UPDATE jobs SET state=?, worker=?, deadline=?, attempts=? "
+                "WHERE job_id=?",
+                (JobState.LEASED, worker, deadline, attempts + 1, job_id),
+            )
+            return Lease(job_id=job_id, attempt=attempts + 1, deadline=deadline)
+
+    def heartbeat(self, worker: str, job_id: str, *, ttl: float) -> bool:
+        now = self.clock()
+        with self.store._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET deadline=? "
+                "WHERE job_id=? AND state=? AND worker=? AND deadline>?",
+                (now + ttl, job_id, JobState.LEASED, worker, now),
+            )
+            return cursor.rowcount == 1
+
+    def complete(self, worker: str, job_id: str) -> bool:
+        with self.store._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state=?, worker=NULL, deadline=NULL "
+                "WHERE job_id=? AND state=? AND worker=?",
+                (JobState.DONE, job_id, JobState.LEASED, worker),
+            )
+            return cursor.rowcount == 1
+
+    def fail(self, worker: str, job_id: str, error: str) -> Optional[str]:
+        with self.store._txn() as conn:
+            row = conn.execute(
+                "SELECT attempts FROM jobs "
+                "WHERE job_id=? AND state=? AND worker=?",
+                (job_id, JobState.LEASED, worker),
+            ).fetchone()
+            if row is None:
+                return None
+            new_state = (
+                JobState.FAILED
+                if int(row[0]) >= self.max_attempts
+                else JobState.PENDING
+            )
+            conn.execute(
+                "UPDATE jobs SET state=?, worker=NULL, deadline=NULL, error=? "
+                "WHERE job_id=?",
+                (new_state, error, job_id),
+            )
+            return new_state
+
+    def counts(self) -> Dict[str, int]:
+        now = self.clock()
+        rows = self.store._conn().execute(
+            "SELECT CASE WHEN state=? AND deadline<=? THEN ? ELSE state END "
+            "AS effective, COUNT(*) FROM jobs GROUP BY effective",
+            (JobState.LEASED, now, JobState.PENDING),
+        ).fetchall()
+        result = {state: 0 for state in JobState.ALL}
+        for state, n in rows:
+            result[str(state)] = result.get(str(state), 0) + int(n)
+        return result
+
+    def errors(self) -> Dict[str, str]:
+        rows = self.store._conn().execute(
+            "SELECT job_id, error FROM jobs WHERE state=?",
+            (JobState.FAILED,),
+        ).fetchall()
+        return {str(job_id): str(error or "failed") for job_id, error in rows}
+
+
+def job_id_for(key) -> str:
+    """The queue job id of a store key: its store path, minus ``.json``."""
+    stem = key.filename
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    return f"{key.target}/{key.config_hash}/{stem}"
+
+
+def queue_for_store(
+    store,
+    *,
+    max_attempts: int = 3,
+    clock: Callable[[], float] = time.time,
+) -> LeaseQueue:
+    """The matching lease queue for a result store backend.
+
+    SQLite stores get the transactional in-database queue; everything
+    else gets a :class:`FileLeaseQueue` in a ``_queue/`` directory beside
+    the store's records.
+    """
+    from repro.experiments.sqlite_store import SqliteResultStore
+    from repro.experiments.store import ResultStore
+
+    if isinstance(store, SqliteResultStore):
+        return SqliteLeaseQueue(store, max_attempts=max_attempts, clock=clock)
+    if isinstance(store, ResultStore):
+        return FileLeaseQueue(
+            Path(store.root) / "_queue", max_attempts=max_attempts, clock=clock
+        )
+    raise TypeError(f"no lease queue for store type {type(store).__name__}")
+
+
+# Re-exported for convenience in tests and the scheduler.
+__all__ = [
+    "FileLeaseQueue",
+    "JobState",
+    "Lease",
+    "LeaseQueue",
+    "LeaseStateMachine",
+    "SqliteLeaseQueue",
+    "job_id_for",
+    "queue_for_store",
+]

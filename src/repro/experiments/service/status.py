@@ -1,0 +1,145 @@
+"""Read-only HTTP status endpoint for running campaigns.
+
+A thin stdlib ``http.server`` wrapper: ``GET /status`` returns the live
+progress counters as JSON, ``GET /healthz`` returns ``ok``.  Strictly
+read-only — there is deliberately no mutation surface — and bound to
+localhost by default; point a dashboard, ``curl``/``watch``, or another
+host's aggregator at it::
+
+    $ curl -s localhost:8642/status | python -m json.tool
+    {
+        "planned": 48,
+        "stored": 31,
+        "failures": 1,
+        ...
+    }
+
+The snapshot function is injected, so the server knows nothing about
+stores or queues; :func:`progress_snapshot` builds the standard campaign
+snapshot from a store, the planned specs and (optionally) a lease queue.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Sequence
+
+
+def progress_snapshot(
+    store,
+    specs: Sequence,
+    *,
+    queue=None,
+) -> Dict[str, object]:
+    """The standard progress counters of a (possibly running) campaign.
+
+    ``stored``/``failures`` come from the result store (ground truth),
+    the lease-state counters from the queue when one is attached.  All
+    values are plain JSON scalars, ready for the status endpoint.
+    """
+    stored = 0
+    failures = 0
+    for spec in specs:
+        if store.has(spec.key):
+            stored += 1
+        elif store.get_failure(spec.key) is not None:
+            failures += 1
+    planned = len(specs)
+    snapshot: Dict[str, object] = {
+        "backend": store.describe(),
+        "planned": planned,
+        "stored": stored,
+        "failures": failures,
+        "remaining": planned - stored,
+        "percent": round(100.0 * stored / planned, 2) if planned else 100.0,
+        "quarantined": store.quarantine_count(),
+    }
+    if queue is not None:
+        counts = queue.counts()
+        snapshot["queue"] = counts
+        snapshot["workers_active"] = counts.get("leased", 0)
+    return snapshot
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-campaign-status/1"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path in ("/", "/status"):
+            try:
+                body = json.dumps(self.server.snapshot_fn(), indent=2).encode()
+            except Exception as exc:  # snapshot races are non-fatal
+                self.send_error(500, f"snapshot failed: {type(exc).__name__}")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "unknown path (try /status)")
+
+    def log_message(self, format, *args):  # silence per-request stderr noise
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    snapshot_fn: Callable[[], Dict[str, object]]
+
+
+class StatusServer:
+    """Serve ``snapshot_fn()`` as JSON on a background thread.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` after
+    :meth:`start`).  The server thread is a daemon, so a crashing
+    campaign never hangs on it; call :meth:`stop` for an orderly end.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Dict[str, object]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._server = _Server((host, port), _Handler)
+        self._server.snapshot_fn = snapshot_fn
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "StatusServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="campaign-status",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,8 +1,13 @@
 """The persistent result store for experiment campaigns.
 
 Every simulated run is identified by a :class:`RunKey` — ``(target,
-config-hash, seed, attacked)`` — and stored as one JSON file under the
-store root (``results/`` by default)::
+config-hash, seed, attacked)``.  Storage is pluggable behind
+:class:`ResultStoreBase` (see :func:`open_store`): the default JSON
+backend below keeps one file per run and stays bit-identical to the
+historical layout; :class:`~repro.experiments.sqlite_store.SqliteResultStore`
+keeps the same records as rows of one WAL-mode database for
+campaign-scale fan-out.  In the JSON backend each run is one file under
+the store root (``results/`` by default)::
 
     results/<target>/<config-hash>/s<seed>-<atk|af>.json
 
@@ -33,6 +38,7 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
@@ -192,20 +198,150 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
 
 
 # ----------------------------------------------------------------------
-# the store
+# the backend contract
 # ----------------------------------------------------------------------
-class ResultStore:
+class ResultStoreBase:
+    """The store contract every result backend implements.
+
+    A backend persists schema-versioned record dicts keyed by
+    :class:`RunKey` and guarantees, whatever the medium:
+
+    * **atomic writes** — a writer killed mid-record never leaves a
+      half-written record visible to readers;
+    * **schema versioning** — a record whose ``schema`` differs from
+      :data:`SCHEMA_VERSION` reads as absent (re-run, never mis-parsed)
+      but is left in place as version-skew evidence;
+    * **quarantine** — a record that exists but cannot be parsed is moved
+      aside (readable as absent, rewritable, evidence preserved);
+    * **concurrent writers** — independent processes may write disjoint
+      (or even identical) keys simultaneously without corrupting records.
+
+    Subclasses implement the raw-record primitives (:meth:`_write_record`,
+    :meth:`get_record`, :meth:`iter_keys`, :meth:`quarantine_count`); the
+    record-kind API (``put_run``/``get_run``/…) is shared so every backend
+    produces byte-identical record dicts — the parity the contract test
+    suite (``tests/experiments/test_store_contract.py``) pins.
+
+    The shared contract is deliberately append/overwrite-only: campaign
+    runs are deterministic, so re-executing a key overwrites it with the
+    identical record and every write is idempotent.
+    """
+
+    # -- primitives (backend-specific) ----------------------------------
+    def _write_record(self, key: RunKey, record: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def get_record(self, key: RunKey) -> Optional[Dict[str, Any]]:
+        """The raw record for ``key``; None if absent, quarantined, or
+        from an incompatible schema version."""
+        raise NotImplementedError
+
+    def iter_keys(self) -> Iterator[RunKey]:
+        """Every key with any record (including failures), sorted."""
+        raise NotImplementedError
+
+    def quarantine_count(self) -> int:
+        """How many corrupt records have been moved aside."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line backend identification for logs and status output."""
+        return type(self).__name__
+
+    # -- batched appends ------------------------------------------------
+    @contextmanager
+    def batch(self) -> Iterator["ResultStoreBase"]:
+        """Group writes into one atomic append where the backend can.
+
+        The JSON backend is per-file atomic already, so this is a no-op
+        there; the SQLite backend coalesces everything written inside the
+        ``with`` block into a single transaction — either all records land
+        or none do (the mid-commit crash guarantee the recovery tests
+        exercise).
+        """
+        yield self
+
+    # -- shared record-kind API -----------------------------------------
+    def _base_record(self, key: RunKey, kind: str) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "target": key.target,
+            "config_hash": key.config_hash,
+            "seed": key.seed,
+            "attacked": key.attacked,
+        }
+
+    def put_run(
+        self, key: RunKey, result: RunResult, *, config: Any = None
+    ) -> Any:
+        """Store a completed RunResult (``config`` is kept for forensics)."""
+        record = self._base_record(key, "run")
+        record["result"] = run_result_to_dict(result)
+        if config is not None:
+            record["config"] = jsonable(config)
+        return self._write_record(key, record)
+
+    def get_run(self, key: RunKey) -> Optional[RunResult]:
+        """The stored RunResult, or None (absent / failed / wrong kind)."""
+        record = self.get_record(key)
+        if record is None or record.get("kind") != "run":
+            return None
+        return run_result_from_dict(record["result"])
+
+    def put_text(self, key: RunKey, text: str, *, params: Any = None) -> Any:
+        """Store a rendered artefact for a non-A/B target."""
+        record = self._base_record(key, "text")
+        record["text"] = text
+        if params is not None:
+            record["params"] = jsonable(params)
+        return self._write_record(key, record)
+
+    def get_text(self, key: RunKey) -> Optional[str]:
+        record = self.get_record(key)
+        if record is None or record.get("kind") != "text":
+            return None
+        return record["text"]
+
+    def put_failure(self, key: RunKey, error: str) -> Any:
+        """Record a run that exhausted its retries (retried on resume)."""
+        record = self._base_record(key, "failure")
+        record["error"] = error
+        return self._write_record(key, record)
+
+    def get_failure(self, key: RunKey) -> Optional[str]:
+        record = self.get_record(key)
+        if record is None or record.get("kind") != "failure":
+            return None
+        return record["error"]
+
+    def has(self, key: RunKey) -> bool:
+        """Whether a *successful* (run or text) record exists for ``key``."""
+        record = self.get_record(key)
+        return record is not None and record.get("kind") in ("run", "text")
+
+    def count(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+
+# ----------------------------------------------------------------------
+# the JSON backend (the default)
+# ----------------------------------------------------------------------
+class ResultStore(ResultStoreBase):
     """A directory of atomically-written, schema-versioned run records."""
 
     def __init__(self, root: "str | os.PathLike[str]" = DEFAULT_RESULTS_DIR):
         self.root = Path(root)
+
+    def describe(self) -> str:
+        return f"json:{self.root}"
 
     # -- paths ----------------------------------------------------------
     def path_for(self, key: RunKey) -> Path:
         return self.root / key.target / key.config_hash / key.filename
 
     # -- raw records ----------------------------------------------------
-    def _write(self, key: RunKey, record: Dict[str, Any]) -> Path:
+    def _write_record(self, key: RunKey, record: Dict[str, Any]) -> Path:
         """Atomically write ``record`` for ``key`` (temp file + replace)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -260,70 +396,12 @@ class ResultStore:
         except OSError:
             pass
 
-    def _base_record(self, key: RunKey, kind: str) -> Dict[str, Any]:
-        return {
-            "schema": SCHEMA_VERSION,
-            "kind": kind,
-            "target": key.target,
-            "config_hash": key.config_hash,
-            "seed": key.seed,
-            "attacked": key.attacked,
-        }
-
-    # -- run records ----------------------------------------------------
-    def put_run(
-        self, key: RunKey, result: RunResult, *, config: Any = None
-    ) -> Path:
-        """Store a completed RunResult (``config`` is kept for forensics)."""
-        record = self._base_record(key, "run")
-        record["result"] = run_result_to_dict(result)
-        if config is not None:
-            record["config"] = jsonable(config)
-        return self._write(key, record)
-
-    def get_run(self, key: RunKey) -> Optional[RunResult]:
-        """The stored RunResult, or None (absent / failed / wrong kind)."""
-        record = self.get_record(key)
-        if record is None or record.get("kind") != "run":
-            return None
-        return run_result_from_dict(record["result"])
-
-    # -- text records ---------------------------------------------------
-    def put_text(
-        self, key: RunKey, text: str, *, params: Any = None
-    ) -> Path:
-        """Store a rendered artefact for a non-A/B target."""
-        record = self._base_record(key, "text")
-        record["text"] = text
-        if params is not None:
-            record["params"] = jsonable(params)
-        return self._write(key, record)
-
-    def get_text(self, key: RunKey) -> Optional[str]:
-        record = self.get_record(key)
-        if record is None or record.get("kind") != "text":
-            return None
-        return record["text"]
-
-    # -- failure records ------------------------------------------------
-    def put_failure(self, key: RunKey, error: str) -> Path:
-        """Record a run that exhausted its retries (retried on resume)."""
-        record = self._base_record(key, "failure")
-        record["error"] = error
-        return self._write(key, record)
-
-    def get_failure(self, key: RunKey) -> Optional[str]:
-        record = self.get_record(key)
-        if record is None or record.get("kind") != "failure":
-            return None
-        return record["error"]
+    def quarantine_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*/*.json.corrupt"))
 
     # -- queries --------------------------------------------------------
-    def has(self, key: RunKey) -> bool:
-        """Whether a *successful* (run or text) record exists for ``key``."""
-        record = self.get_record(key)
-        return record is not None and record.get("kind") in ("run", "text")
-
     def iter_keys(self) -> Iterator[RunKey]:
         """Every key with any record on disk (including failures)."""
         if not self.root.is_dir():
@@ -345,5 +423,39 @@ class ResultStore:
                     except (ValueError, StoreError):
                         continue
 
-    def count(self) -> int:
-        return sum(1 for _ in self.iter_keys())
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+#: Known backend names for :func:`open_store` and the CLI ``--backend``.
+STORE_BACKENDS = ("json", "sqlite")
+
+#: Filename used when a SQLite store is addressed by a directory root.
+SQLITE_DB_NAME = "results.sqlite"
+
+
+def open_store(
+    root: "str | os.PathLike[str]" = DEFAULT_RESULTS_DIR,
+    *,
+    backend: str = "json",
+) -> ResultStoreBase:
+    """Open a result store of the requested backend.
+
+    ``backend="json"`` (the default, bit-identical to the historical
+    layout) treats ``root`` as the store directory.  ``backend="sqlite"``
+    opens one WAL-mode database file: ``root`` itself when it names a
+    ``*.sqlite`` / ``*.db`` file, else ``root/results.sqlite`` so JSON and
+    SQLite campaigns can share a results directory side by side.
+    """
+    if backend == "json":
+        return ResultStore(root)
+    if backend == "sqlite":
+        from repro.experiments.sqlite_store import SqliteResultStore
+
+        path = Path(root)
+        if path.suffix not in (".sqlite", ".db"):
+            path = path / SQLITE_DB_NAME
+        return SqliteResultStore(path)
+    raise StoreError(
+        f"unknown store backend {backend!r} (known: {', '.join(STORE_BACKENDS)})"
+    )

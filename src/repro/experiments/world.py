@@ -42,6 +42,29 @@ from repro.traffic.simulation import TrafficSimulation
 from repro.traffic.spawner import EntranceSpawner
 
 
+def reset_id_counters() -> None:
+    """Reset every process-global id counter to its fresh-process value.
+
+    Vehicle ids, link-layer addresses and frame ids are allocated from
+    module-level counters, so a process that simulates several runs back
+    to back numbers them differently from a freshly forked worker — the
+    ids are pure labels (they never influence behaviour), but they are
+    recorded in the store (``packet_id``), where they would break the
+    bit-identity of records across execution strategies.  The campaign
+    pool sidesteps this with one process per run
+    (``maxtasksperchild=1``); the lease-service workers, which execute
+    many runs per process, call this before each run instead."""
+    from repro.radio.channel import reset_addresses
+    from repro.radio.frames import reset_frame_ids
+    from repro.traffic.grid import reset_grid_vehicle_ids
+    from repro.traffic.vehicle import reset_vehicle_ids
+
+    reset_vehicle_ids()
+    reset_grid_vehicle_ids()
+    reset_addresses()
+    reset_frame_ids()
+
+
 class World:
     """One assembled scenario, attack-free (A) or attacked (B)."""
 

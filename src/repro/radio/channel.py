@@ -48,6 +48,12 @@ from repro.sim.random import RandomStreams
 
 _address_counter = itertools.count(1)
 
+
+def reset_addresses() -> None:
+    """Restart link-layer address allocation at 1 (fresh-process state)."""
+    global _address_counter
+    _address_counter = itertools.count(1)
+
 #: Fallback grid cell size when no registered interface implies one.
 _DEFAULT_CELL_SIZE = 500.0
 

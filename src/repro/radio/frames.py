@@ -18,6 +18,12 @@ from repro.geo.position import Position
 _frame_counter = itertools.count()
 
 
+def reset_frame_ids() -> None:
+    """Restart frame-id allocation at 0 (fresh-process state)."""
+    global _frame_counter
+    _frame_counter = itertools.count()
+
+
 class FrameKind(enum.Enum):
     """The GeoNetworking message type carried by a frame."""
 

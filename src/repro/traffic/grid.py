@@ -45,6 +45,12 @@ from repro.traffic.spawner import EntranceSpawner
 
 _grid_vehicle_counter = itertools.count(1)
 
+
+def reset_grid_vehicle_ids() -> None:
+    """Restart grid-vehicle-id allocation at 1 (fresh-process state)."""
+    global _grid_vehicle_counter
+    _grid_vehicle_counter = itertools.count(1)
+
 #: Axis labels for corridors: horizontal streets run along x, vertical
 #: streets along y.
 HORIZONTAL = "h"

@@ -18,6 +18,16 @@ from repro.traffic.road import Direction, Lane
 _vehicle_counter = itertools.count(1)
 
 
+def reset_vehicle_ids() -> None:
+    """Restart vehicle-id allocation at 1 (fresh-process state).
+
+    Ids are labels only — they never influence simulation behaviour — but
+    resetting them lets runs executed back to back in one process produce
+    records identical to runs executed in fresh processes."""
+    global _vehicle_counter
+    _vehicle_counter = itertools.count(1)
+
+
 @dataclass(eq=False)
 class Vehicle:
     """A vehicle on the road.

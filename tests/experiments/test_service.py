@@ -1,0 +1,356 @@
+"""Tests for the campaign service layer: worker loop, scheduler,
+status endpoint, partial assembly, and the CLI's scheduler surface.
+
+Crash recovery (SIGKILL mid-run / mid-commit) lives in
+``test_crash_recovery.py``; the lease protocol's exhaustive invariants
+in ``tests/properties/test_lease_properties.py``.  This module covers
+the orderly paths and the wiring around them.
+"""
+
+import argparse
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.experiments import campaign, cli
+from repro.experiments.campaign import MissingRunError, assemble_target, plan_campaign
+from repro.experiments.service.leases import job_id_for, queue_for_store
+from repro.experiments.service.scheduler import (
+    WorkerSettings,
+    run_service_campaign,
+    worker_loop,
+)
+from repro.experiments.service.status import StatusServer, progress_snapshot
+from repro.experiments.store import open_store
+from tests.experiments.test_campaign import (
+    KW,
+    executed_keys,
+    fake_result,
+    recording_execute,
+)
+
+FAST = WorkerSettings(lease_ttl=5.0, heartbeat_interval=0.5, poll_interval=0.05)
+
+
+@pytest.fixture(params=["json", "sqlite"])
+def store(request, tmp_path):
+    return open_store(tmp_path / "results", backend=request.param)
+
+
+# ----------------------------------------------------------------------
+# WorkerSettings
+# ----------------------------------------------------------------------
+def test_worker_settings_validation():
+    with pytest.raises(ValueError):
+        WorkerSettings(lease_ttl=0.0)
+    with pytest.raises(ValueError):
+        WorkerSettings(max_attempts=0)
+    with pytest.raises(ValueError):
+        WorkerSettings(lease_ttl=10.0, heartbeat_interval=10.0)
+    with pytest.raises(ValueError):
+        WorkerSettings(lease_ttl=10.0, heartbeat_interval=-1.0)
+    assert WorkerSettings(lease_ttl=9.0).effective_heartbeat == 3.0
+    assert WorkerSettings(lease_ttl=9.0, heartbeat_interval=1.5).effective_heartbeat == 1.5
+
+
+# ----------------------------------------------------------------------
+# worker_loop (in-process)
+# ----------------------------------------------------------------------
+def test_worker_loop_drains_the_queue(store, tmp_path, monkeypatch):
+    log_path = str(tmp_path / "executed.log")
+    monkeypatch.setattr(campaign, "execute_spec", recording_execute(log_path))
+    specs = plan_campaign(["fig7a"], **KW)
+    specs_by_job = {job_id_for(s.key): s for s in specs}
+    queue = queue_for_store(store)
+    queue.seed(specs_by_job)
+    completed = worker_loop("w1", store, queue, specs_by_job, FAST)
+    assert completed == len(specs)
+    assert queue.all_terminal()
+    assert queue.counts()["done"] == len(specs)
+    for spec in specs:
+        assert store.has(spec.key), spec.describe()
+    assert len(executed_keys(log_path)) == len(specs)
+
+
+def test_worker_loop_fails_unknown_jobs(store):
+    queue = queue_for_store(store)
+    queue.seed(["not-a-planned-job"])
+    completed = worker_loop("w1", store, queue, {}, FAST)
+    assert completed == 0
+    assert queue.counts()["failed"] == 1
+    assert "unknown" in queue.errors()["not-a-planned-job"]
+
+
+def test_worker_loop_retries_then_records_terminal_failure(
+    store, monkeypatch
+):
+    attempts = []
+
+    def always_raise(spec):
+        attempts.append(spec.key)
+        raise ValueError("deterministic failure")
+
+    monkeypatch.setattr(campaign, "execute_spec", always_raise)
+    specs = plan_campaign(["fig12a"], **KW)
+    specs_by_job = {job_id_for(s.key): s for s in specs}
+    queue = queue_for_store(store, max_attempts=2)
+    queue.seed(specs_by_job)
+    settings = WorkerSettings(
+        lease_ttl=5.0, poll_interval=0.05, max_attempts=2
+    )
+    completed = worker_loop("w1", store, queue, specs_by_job, settings)
+    assert completed == 0
+    assert len(attempts) == 2  # max_attempts, then terminal
+    assert queue.counts()["failed"] == 1
+    assert store.get_failure(specs[0].key) is not None
+    assert not store.has(specs[0].key)
+
+
+# ----------------------------------------------------------------------
+# run_service_campaign (multi-process, orderly)
+# ----------------------------------------------------------------------
+def test_service_campaign_completes_and_resumes(store, tmp_path, monkeypatch):
+    log_path = str(tmp_path / "executed.log")
+    monkeypatch.setattr(campaign, "execute_spec", recording_execute(log_path))
+    specs = plan_campaign(["fig7a", "fig12a"], **KW)
+    report = run_service_campaign(
+        ["fig7a", "fig12a"], store=store, workers=2, settings=FAST,
+        log_stream=None, **KW,
+    )
+    assert report.ok
+    assert report.planned == len(specs)
+    assert report.executed == len(specs)
+    assert report.skipped == 0
+    assert report.workers == 2
+    assert set(report.outputs) == {"fig7a", "fig12a"}
+    assert len(executed_keys(log_path)) == len(specs)
+    # re-issue: the service always resumes — nothing executes again
+    report2 = run_service_campaign(
+        ["fig7a", "fig12a"], store=store, workers=2, settings=FAST,
+        log_stream=None, **KW,
+    )
+    assert report2.ok
+    assert report2.skipped == len(specs)
+    assert report2.executed == 0
+    assert len(executed_keys(log_path)) == len(specs)
+
+
+def test_service_campaign_rejects_bad_workers(store):
+    with pytest.raises(ValueError):
+        run_service_campaign(["fig12a"], store=store, workers=0, **KW)
+
+
+def test_service_campaign_partial_renders_with_coverage_note(
+    store, monkeypatch
+):
+    """With ``partial``, a target whose runs keep failing still renders
+    from the stored subset, flagged with a coverage note."""
+    specs = plan_campaign(["fig7a"], **KW)
+    bad_key = next(s for s in specs if s.attacked).key
+
+    def flaky(spec):
+        if spec.key == bad_key:
+            raise ValueError("this run never succeeds")
+        return fake_result(spec)
+
+    monkeypatch.setattr(campaign, "execute_spec", flaky)
+    report = run_service_campaign(
+        ["fig7a"], store=store, workers=1, retries=0, partial=True,
+        settings=WorkerSettings(
+            lease_ttl=5.0, poll_interval=0.05, max_attempts=1
+        ),
+        log_stream=None, **KW,
+    )
+    assert not report.ok  # the failure is still reported...
+    assert [s.key for s, _ in report.failed] == [bad_key]
+    # ...but the artefact rendered from what is stored, with the note
+    assert "fig7a" in report.outputs
+    assert report.partial_targets["fig7a"].startswith("partial:")
+    assert "note: partial:" in report.outputs["fig7a"]
+    assert "fig7a" not in report.errors
+
+
+def test_pool_campaign_partial_renders_with_coverage_note(store, monkeypatch):
+    """`--partial` works identically on the classic pool path: a target
+    with a terminally-failing run renders from the stored subset with the
+    same coverage note the lease scheduler produces."""
+    specs = plan_campaign(["fig7a"], **KW)
+    bad_key = next(s for s in specs if s.attacked).key
+
+    def flaky(spec):
+        if spec.key == bad_key:
+            raise ValueError("this run never succeeds")
+        return fake_result(spec)
+
+    monkeypatch.setattr(campaign, "execute_spec", flaky)
+    report = campaign.run_campaign(
+        ["fig7a"], store=store, processes=1, retries=0, partial=True,
+        log_stream=None, **KW,
+    )
+    assert not report.ok
+    assert [s.key for s, _ in report.failed] == [bad_key]
+    assert "fig7a" in report.outputs
+    assert report.partial_targets["fig7a"].startswith("partial:")
+    assert "note: partial:" in report.outputs["fig7a"]
+    assert "fig7a" not in report.errors
+
+
+# ----------------------------------------------------------------------
+# partial assembly (streaming aggregation)
+# ----------------------------------------------------------------------
+def test_assemble_partial_keeps_only_complete_seed_pairs(store):
+    specs = plan_campaign(["fig7a"], **KW)
+    # store everything except one attacked run: its A-side twin must be
+    # excluded too (a lone attack-free run would bias the comparison)
+    missing = next(s for s in specs if s.attacked)
+    for spec in specs:
+        if spec.key != missing.key:
+            campaign._store_result(store, spec, fake_result(spec))
+    with pytest.raises(MissingRunError):
+        assemble_target("fig7a", store, partial=False, **KW)
+    text, note = assemble_target("fig7a", store, partial=True, **KW)
+    stored, planned = len(specs) - 1, len(specs)
+    assert note == f"partial: {stored}/{planned} runs stored (83%)"
+    assert f"note: {note}" in text
+
+
+def test_assemble_partial_with_zero_runs_still_raises(store):
+    with pytest.raises(MissingRunError):
+        assemble_target("fig7a", store, partial=True, **KW)
+
+
+def test_assemble_partial_complete_store_reports_complete(store):
+    for spec in plan_campaign(["fig7a"], **KW):
+        campaign._store_result(store, spec, fake_result(spec))
+    text, note = assemble_target("fig7a", store, partial=True, **KW)
+    assert note == "complete"
+    assert "note:" not in text
+    assert text == assemble_target("fig7a", store, partial=False, **KW)
+
+
+# ----------------------------------------------------------------------
+# status snapshot + HTTP endpoint
+# ----------------------------------------------------------------------
+def test_progress_snapshot_counts(store):
+    specs = plan_campaign(["fig7a"], **KW)
+    half = specs[: len(specs) // 2]
+    for spec in half:
+        campaign._store_result(store, spec, fake_result(spec))
+    store.put_failure(specs[-1].key, "boom")
+    snapshot = progress_snapshot(store, specs)
+    assert snapshot["planned"] == len(specs)
+    assert snapshot["stored"] == len(half)
+    assert snapshot["failures"] == 1
+    assert snapshot["remaining"] == len(specs) - len(half)
+    assert snapshot["quarantined"] == 0
+    assert store.describe() == snapshot["backend"]
+    queue = queue_for_store(store)
+    queue.seed([job_id_for(s.key) for s in specs])
+    with_queue = progress_snapshot(store, specs, queue=queue)
+    assert with_queue["queue"]["pending"] == len(specs)
+    assert with_queue["workers_active"] == 0
+
+
+def test_status_server_serves_snapshot_and_health(store):
+    specs = plan_campaign(["fig12a"], **KW)
+    server = StatusServer(lambda: progress_snapshot(store, specs), port=0)
+    with server:
+        base = f"http://127.0.0.1:{server.port}"
+        with urllib.request.urlopen(f"{base}/status", timeout=5) as response:
+            assert response.status == 200
+            body = json.loads(response.read())
+        assert body["planned"] == 1 and body["stored"] == 0
+        with urllib.request.urlopen(f"{base}/healthz", timeout=5) as response:
+            assert response.read() == b"ok\n"
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(f"{base}/nope", timeout=5)
+        assert exc_info.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# CLI: scheduler flags are warned about and validated consistently
+# ----------------------------------------------------------------------
+def _args(**overrides):
+    defaults = dict(
+        runs=3, processes=1, duration=200.0, seed=1,
+        workers=0, lease_ttl=60.0, heartbeat=None, status_port=None,
+        partial=False,
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+def test_single_run_target_warns_on_scheduler_flags(capsys):
+    """The satellite fix: scheduler flags on a single deterministic run
+    warn exactly like the historical --runs/--processes instead of being
+    silently swallowed."""
+    cli._warn_ignored_flags("table1", _args(workers=4, lease_ttl=5.0))
+    err = capsys.readouterr().err
+    assert "--workers 4" in err and "--lease-ttl 5.0" in err
+    assert "no effect" in err
+    # and still nothing when every fan-out flag is at its default
+    cli._warn_ignored_flags("table1", _args())
+    assert capsys.readouterr().err == ""
+    # multi-run targets accept the flags silently (they do apply)
+    cli._warn_ignored_flags("fig7a", _args(workers=4))
+    assert capsys.readouterr().err == ""
+
+
+def test_scheduler_flags_without_workers_warn(capsys):
+    cli._validate_scheduler_args(_args(lease_ttl=5.0, status_port=0))
+    err = capsys.readouterr().err
+    assert "--lease-ttl 5.0" in err and "--status-port 0" in err
+    assert "--workers" in err
+    cli._validate_scheduler_args(_args(workers=2, lease_ttl=5.0))
+    assert capsys.readouterr().err == ""
+
+
+def test_scheduler_flag_ranges_are_validated():
+    with pytest.raises(SystemExit):
+        cli._validate_scheduler_args(_args(workers=-1))
+    with pytest.raises(SystemExit):
+        cli._validate_scheduler_args(_args(lease_ttl=0.0))
+    with pytest.raises(SystemExit):
+        cli._validate_scheduler_args(_args(workers=2, lease_ttl=10.0, heartbeat=10.0))
+    with pytest.raises(SystemExit):
+        cli._validate_scheduler_args(_args(status_port=70000))
+
+
+def test_cli_campaign_via_lease_scheduler(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(
+        campaign, "execute_spec", recording_execute(str(tmp_path / "log"))
+    )
+    code = cli.main(
+        [
+            "campaign", "fig12a",
+            "--backend", "sqlite",
+            "--workers", "1",
+            "--results-dir", str(tmp_path / "results"),
+            "--runs", "1", "--duration", "6.0",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "text artefact for fig12a" in captured.out
+    store = open_store(tmp_path / "results", backend="sqlite")
+    assert store.count() == 1
+
+
+def test_cli_status_reports_progress(tmp_path, monkeypatch, capsys):
+    store = open_store(tmp_path / "results", backend="json")
+    specs = plan_campaign(["fig12a"], **KW)
+    store.put_text(specs[0].key, "artefact")
+    code = cli.main(
+        [
+            "status", "fig12a",
+            "--results-dir", str(tmp_path / "results"),
+            "--runs", "1", "--duration", "6.0",
+        ]
+    )
+    assert code == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["planned"] == 1
+    assert snapshot["stored"] == 1
+    assert snapshot["percent"] == 100.0

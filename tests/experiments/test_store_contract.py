@@ -1,0 +1,327 @@
+"""The shared store-backend contract, run against every backend.
+
+Every test in this module executes once per backend (JSON files, SQLite
+database) through the ``backend`` fixture: the two must behave
+identically through the :class:`~repro.experiments.store.ResultStoreBase`
+API, down to producing byte-identical record dicts, because campaigns
+switch between them with a flag.  Backend-specific tampering (corrupting
+a record, forging a schema version) goes through the harness so each
+test states *what* is broken, not *how* that backend breaks.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments.sqlite_store import SqliteResultStore
+from repro.experiments.store import (
+    ResultStore,
+    RunKey,
+    SCHEMA_VERSION,
+    SQLITE_DB_NAME,
+    StoreError,
+    open_store,
+)
+from tests.experiments.test_store import key, sample_result
+
+
+class BackendHarness:
+    """One backend under contract test, plus its tampering hooks."""
+
+    def __init__(self, name, root):
+        self.name = name
+        self.root = root
+
+    def open(self):
+        return open_store(self.root, backend=self.name)
+
+    def corrupt(self, store, k):
+        """Make ``k``'s stored record unparseable, out of band."""
+        raise NotImplementedError
+
+    def set_schema(self, store, k, version):
+        """Forge ``k``'s record schema version, out of band."""
+        raise NotImplementedError
+
+    def raw_present(self, store, k):
+        """Whether ``k`` still has an (uninterpreted) record in place."""
+        raise NotImplementedError
+
+
+class JsonHarness(BackendHarness):
+    def corrupt(self, store, k):
+        store.path_for(k).write_text("{truncated")
+
+    def set_schema(self, store, k, version):
+        path = store.path_for(k)
+        record = json.loads(path.read_text())
+        record["schema"] = version
+        path.write_text(json.dumps(record))
+
+    def raw_present(self, store, k):
+        return store.path_for(k).exists()
+
+
+class SqliteHarness(BackendHarness):
+    @staticmethod
+    def _where(k):
+        return (
+            "target=? AND config_hash=? AND seed=? AND attacked=?",
+            (k.target, k.config_hash, k.seed, int(k.attacked)),
+        )
+
+    def corrupt(self, store, k):
+        where, params = self._where(k)
+        store._conn().execute(
+            f"UPDATE records SET payload='{{truncated' WHERE {where}", params
+        )
+
+    def set_schema(self, store, k, version):
+        where, params = self._where(k)
+        row = store._conn().execute(
+            f"SELECT payload FROM records WHERE {where}", params
+        ).fetchone()
+        record = json.loads(row[0])
+        record["schema"] = version
+        store._conn().execute(
+            f"UPDATE records SET payload=?, schema=? WHERE {where}",
+            (json.dumps(record), version) + params,
+        )
+
+    def raw_present(self, store, k):
+        where, params = self._where(k)
+        return (
+            store._conn()
+            .execute(f"SELECT 1 FROM records WHERE {where}", params)
+            .fetchone()
+            is not None
+        )
+
+
+@pytest.fixture(params=["json", "sqlite"])
+def backend(request, tmp_path):
+    harness_cls = {"json": JsonHarness, "sqlite": SqliteHarness}[request.param]
+    return harness_cls(request.param, tmp_path / request.param)
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+def test_run_round_trip(backend):
+    store = backend.open()
+    result = sample_result()
+    store.put_run(key(), result)
+    assert store.get_run(key()) == result
+    assert store.has(key())
+    assert store.get_run(key(seed=99)) is None
+
+
+def test_text_round_trip(backend):
+    store = backend.open()
+    k = key(target="table1", attacked=False)
+    store.put_text(k, "rendered artefact", params={"seed": 1})
+    assert store.get_text(k) == "rendered artefact"
+    assert store.has(k)
+    assert store.get_run(k) is None  # wrong kind
+
+
+def test_failure_round_trip_does_not_count_as_done(backend):
+    store = backend.open()
+    store.put_failure(key(), "worker crashed")
+    assert store.get_failure(key()) == "worker crashed"
+    assert not store.has(key())  # failures are retried on resume
+    assert store.get_run(key()) is None
+
+
+def test_success_overwrites_failure(backend):
+    store = backend.open()
+    store.put_failure(key(), "boom")
+    store.put_run(key(), sample_result())
+    assert store.has(key())
+    assert store.get_failure(key()) is None
+
+
+def test_records_persist_across_reopen(backend):
+    store = backend.open()
+    store.put_run(key(), sample_result())
+    reopened = backend.open()
+    assert reopened.get_run(key()) == sample_result()
+    assert reopened.count() == 1
+
+
+def test_iter_keys_and_count(backend):
+    store = backend.open()
+    keys = [
+        key(target="a", seed=1, attacked=False),
+        key(target="a", seed=1, attacked=True),
+        key(target="b", seed=2, attacked=False),
+    ]
+    for k in keys:
+        store.put_run(k, sample_result(seed=k.seed, attacked=k.attacked))
+    assert set(store.iter_keys()) == set(keys)
+    assert store.count() == 3
+
+
+def test_resume_skip_via_has(backend):
+    """``has`` drives resume: stored keys skip, failed/absent ones run."""
+    store = backend.open()
+    done, failed, missing = key(seed=1), key(seed=2), key(seed=3)
+    store.put_run(done, sample_result(seed=1))
+    store.put_failure(failed, "boom")
+    to_run = [k for k in (done, failed, missing) if not store.has(k)]
+    assert to_run == [failed, missing]
+
+
+# ----------------------------------------------------------------------
+# schema versioning
+# ----------------------------------------------------------------------
+def test_schema_mismatch_reads_absent_but_stays_in_place(backend):
+    store = backend.open()
+    store.put_run(key(), sample_result())
+    backend.set_schema(store, key(), SCHEMA_VERSION + 998)
+    assert store.get_record(key()) is None
+    assert store.get_run(key()) is None
+    assert not store.has(key())
+    # version skew is evidence, not corruption: no quarantine, row stays
+    assert store.quarantine_count() == 0
+    assert backend.raw_present(store, key())
+
+
+# ----------------------------------------------------------------------
+# quarantine of unparseable records
+# ----------------------------------------------------------------------
+def test_corrupt_record_is_quarantined(backend):
+    store = backend.open()
+    store.put_run(key(), sample_result())
+    backend.corrupt(store, key())
+    assert store.get_record(key()) is None
+    assert not store.has(key())
+    assert store.quarantine_count() == 1
+    # the key reads as absent everywhere, so resume re-runs it
+    assert list(store.iter_keys()) == []
+
+
+def test_quarantined_key_is_rewritable(backend):
+    store = backend.open()
+    store.put_run(key(), sample_result())
+    backend.corrupt(store, key())
+    assert not store.has(key())
+    store.put_run(key(), sample_result())  # the re-run lands normally
+    assert store.has(key())
+    assert store.get_run(key()) == sample_result()
+    assert store.quarantine_count() == 1  # evidence kept
+
+
+# ----------------------------------------------------------------------
+# batched appends
+# ----------------------------------------------------------------------
+def test_batch_writes_are_visible_after_the_block(backend):
+    store = backend.open()
+    with store.batch():
+        store.put_run(key(seed=1), sample_result(seed=1))
+        store.put_run(key(seed=2), sample_result(seed=2))
+    assert store.count() == 2
+    assert store.get_run(key(seed=1)) == sample_result(seed=1)
+
+
+# ----------------------------------------------------------------------
+# concurrent writers
+# ----------------------------------------------------------------------
+def _writer_process(backend_name, root, worker, per_worker):
+    store = open_store(root, backend=backend_name)
+    for n in range(per_worker):
+        k = RunKey(
+            target=f"w{worker}", config_hash="ab12", seed=n, attacked=False
+        )
+        store.put_run(k, sample_result(seed=n, attacked=False))
+    # every worker also hammers one shared key with the identical record
+    shared = RunKey(target="shared", config_hash="ab12", seed=0, attacked=False)
+    for _ in range(per_worker):
+        store.put_run(shared, sample_result(seed=0, attacked=False))
+
+
+def test_concurrent_writers_do_not_corrupt_records(backend):
+    workers, per_worker = 4, 20
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(
+            target=_writer_process,
+            args=(backend.name, backend.root, w, per_worker),
+        )
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    store = backend.open()
+    assert store.count() == workers * per_worker + 1
+    assert store.quarantine_count() == 0
+    for w in range(workers):
+        for n in range(per_worker):
+            k = RunKey(
+                target=f"w{w}", config_hash="ab12", seed=n, attacked=False
+            )
+            assert store.get_run(k) == sample_result(seed=n, attacked=False)
+    shared = RunKey(target="shared", config_hash="ab12", seed=0, attacked=False)
+    assert store.get_run(shared) == sample_result(seed=0, attacked=False)
+
+
+# ----------------------------------------------------------------------
+# cross-backend parity
+# ----------------------------------------------------------------------
+def test_backends_produce_byte_identical_records(tmp_path):
+    json_store = open_store(tmp_path / "json", backend="json")
+    sqlite_store = open_store(tmp_path / "sqlite", backend="sqlite")
+    result = sample_result()
+    for store in (json_store, sqlite_store):
+        store.put_run(key(), result, config={"duration": 6.0})
+        store.put_text(key(target="table1", attacked=False), "artefact")
+        store.put_failure(key(seed=9), "boom")
+    for k in (key(), key(target="table1", attacked=False), key(seed=9)):
+        json_record = json_store.get_record(k)
+        sqlite_record = sqlite_store.get_record(k)
+        assert json.dumps(json_record, sort_keys=True) == json.dumps(
+            sqlite_record, sort_keys=True
+        )
+    assert list(json_store.iter_keys()) == list(sqlite_store.iter_keys())
+
+
+# ----------------------------------------------------------------------
+# open_store routing
+# ----------------------------------------------------------------------
+def test_open_store_routes_backends(tmp_path):
+    assert isinstance(open_store(tmp_path, backend="json"), ResultStore)
+    store = open_store(tmp_path, backend="sqlite")
+    assert isinstance(store, SqliteResultStore)
+    # a directory root gets the default database name under it
+    assert store.path == tmp_path / SQLITE_DB_NAME
+    # an explicit database filename is honoured as-is
+    explicit = open_store(tmp_path / "mine.sqlite", backend="sqlite")
+    assert explicit.path == tmp_path / "mine.sqlite"
+    with pytest.raises(StoreError):
+        open_store(tmp_path, backend="parquet")
+
+
+def test_describe_names_the_backend(backend):
+    assert backend.name in backend.open().describe()
+
+
+def test_sqlite_batch_rolls_back_atomically(tmp_path):
+    """Nothing written inside a failed batch block survives (the SQLite
+    half of the mid-commit guarantee; the JSON backend has no multi-write
+    transaction to roll back)."""
+    store = open_store(tmp_path, backend="sqlite")
+    store.put_run(key(seed=1), sample_result(seed=1))
+    with pytest.raises(RuntimeError, match="boom"):
+        with store.batch():
+            store.put_run(key(seed=2), sample_result(seed=2))
+            store.put_run(key(seed=3), sample_result(seed=3))
+            raise RuntimeError("boom")
+    assert store.count() == 1
+    assert store.get_run(key(seed=2)) is None
+    # the store is usable again after the rollback
+    store.put_run(key(seed=2), sample_result(seed=2))
+    assert store.count() == 2
