@@ -1,17 +1,29 @@
 """Proof-of-concept outsider attacks against GeoNetworking (paper §III),
 plus the insider blackhole/grayhole baseline the paper contrasts with
-(§VI)."""
+(§VI) and the coordinated / mobile / adaptive threat-model extensions."""
 
+from repro.core.attacks.adaptive import AdaptiveInterceptor
 from repro.core.attacks.base import AttackerStats, RoadsideAttacker
 from repro.core.attacks.blackhole import InsiderBlackhole, OutsiderBlackhole
+from repro.core.attacks.coordinated import (
+    CoordinatedInterceptor,
+    ReplayCoordinator,
+    deploy_coordinated_masts,
+)
 from repro.core.attacks.inter_area import InterAreaInterceptor
 from repro.core.attacks.intra_area import IntraAreaBlocker
+from repro.core.attacks.mobile import MobileInterceptor
 
 __all__ = [
+    "AdaptiveInterceptor",
     "AttackerStats",
+    "CoordinatedInterceptor",
     "InsiderBlackhole",
     "InterAreaInterceptor",
     "IntraAreaBlocker",
+    "MobileInterceptor",
     "OutsiderBlackhole",
+    "ReplayCoordinator",
     "RoadsideAttacker",
+    "deploy_coordinated_masts",
 ]

@@ -1,0 +1,139 @@
+"""An adaptive inter-area attacker that stays under detection thresholds.
+
+The static interceptor replays *every* beacon it hears — maximally
+effective and maximally loud: each replay raises ``replayed-beacon``
+alerts at every double-covered witness and ``implausible-position`` alerts
+at every far receiver, so a windowed alert-rate detector fires in its
+first window.  This adversary assumes the defenders run such a detector
+and throttles itself:
+
+* **a replay token bucket** — at most ``max_replays_per_window`` replays
+  per ``alert_window`` seconds (the knob mirrors the defender's window, so
+  "stay below a configurable alert threshold" is a budget the operator
+  derives from the threshold they expect);
+* **target selection** — the few replays it does spend go on the captured
+  beacons whose advertised position lies *farthest* from the attacker:
+  those poison a LocT entry far beyond every victim's real reach, the
+  highest interception value per replay (and, with LocT TTLs an order of
+  magnitude above the beacon period, a poisoned entry keeps misrouting
+  long after the replay);
+* **a per-source cooldown** — spreading the budget over distinct sources
+  keeps several poisoned entries alive at once instead of refreshing one.
+
+Replays stay within the beacon freshness window: candidates are buffered
+per tick and anything older than ``freshness_margin`` is discarded, since
+routers reject stale beacons and a late replay would spend budget for no
+poisoning at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.attacks.base import RoadsideAttacker
+from repro.geonet.packets import BeaconBody
+from repro.radio.frames import Frame, FrameKind
+from repro.security.signing import SignedMessage
+from repro.sim.process import PeriodicProcess
+
+
+class AdaptiveInterceptor(RoadsideAttacker):
+    """Budgeted, target-selective replay under an alert-rate ceiling."""
+
+    def __init__(
+        self,
+        *,
+        max_replays_per_window: float = 2.0,
+        alert_window: float = 5.0,
+        per_source_cooldown: float = 6.0,
+        tick: float = 1.0,
+        freshness_margin: float = 1.5,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if max_replays_per_window <= 0:
+            raise ValueError("max_replays_per_window must be positive")
+        if alert_window <= 0:
+            raise ValueError("alert_window must be positive")
+        if per_source_cooldown < 0:
+            raise ValueError("per_source_cooldown must be non-negative")
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        if freshness_margin <= 0:
+            raise ValueError("freshness_margin must be positive")
+        self.max_replays_per_window = float(max_replays_per_window)
+        self.alert_window = float(alert_window)
+        self.per_source_cooldown = float(per_source_cooldown)
+        self.tick = float(tick)
+        self.freshness_margin = float(freshness_margin)
+        self.beacons_replayed = 0
+        self.replays_withheld = 0
+        #: source addr -> (frame, advertised distance from us, heard time);
+        #: latest capture per source, cleared every tick.
+        self._candidates: Dict[int, Tuple[Frame, float, float]] = {}
+        #: source addr -> last replay time (cooldown bookkeeping).
+        self._last_replay: Dict[int, float] = {}
+        self._tokens = self.max_replays_per_window
+        self._refill_rate = self.max_replays_per_window / self.alert_window
+        self._scheduler = PeriodicProcess(
+            self.sim, self.tick, self._spend_budget, start_delay=self.tick
+        )
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def react(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.BEACON:
+            return
+        payload = frame.payload
+        if not isinstance(payload, SignedMessage):
+            return
+        if frame.sender_addr == self.iface.address:
+            return
+        body = payload.body
+        if not isinstance(body, BeaconBody):
+            return
+        distance = self.position.distance_to(body.pv.position)
+        self._candidates[body.source_addr] = (frame, distance, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # budgeted replay
+    # ------------------------------------------------------------------
+    def _spend_budget(self) -> None:
+        now = self.sim.now
+        self._tokens = min(
+            self.max_replays_per_window,
+            self._tokens + self._refill_rate * self.tick,
+        )
+        fresh_cutoff = now - self.freshness_margin
+        eligible = [
+            (distance, addr, frame)
+            for addr, (frame, distance, heard_at) in self._candidates.items()
+            if heard_at >= fresh_cutoff
+            and now - self._last_replay.get(addr, -1e18)
+            >= self.per_source_cooldown
+        ]
+        self._candidates.clear()
+        # Highest poisoning value first: the farthest advertised positions.
+        eligible.sort(key=lambda item: (-item[0], item[1]))
+        spent = 0
+        for _distance, addr, frame in eligible:
+            if self._tokens < 1.0:
+                break
+            self._tokens -= 1.0
+            self._last_replay[addr] = now
+            self.beacons_replayed += 1
+            spent += 1
+            self.replay_frame(frame)
+        self.replays_withheld += len(eligible) - spent
+        if len(self._last_replay) > 4096:
+            cooldown_cutoff = now - self.per_source_cooldown
+            self._last_replay = {
+                a: t for a, t in self._last_replay.items()
+                if t >= cooldown_cutoff
+            }
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._scheduler.stop()
+        super().stop()

@@ -1,0 +1,119 @@
+"""Coordinated multi-mast replay (threat-model extension).
+
+The paper's inter-area attacker is a single mid-road mast; its coverage —
+and thus the set of poisonable victims — is one footprint.  A coordinated
+adversary erects several masts placed by
+:func:`repro.core.vulnerability.greedy_mast_placement` and shares a replay
+ledger between them, for two reasons:
+
+* **work splitting** — a beacon heard by several masts is replayed exactly
+  once (whichever mast reacts first claims the ``(source, pv timestamp)``
+  key), so coverage grows without multiplying on-air replays;
+* **loop suppression** — masts hear each other's replays; without the
+  shared ledger (and the mast address set) two masts in mutual range would
+  re-replay each other forever, a replay storm that throttles only on the
+  reaction delay.
+
+The ledger is bounded exactly like the misbehavior detector's dedup state:
+claims expire with the beacon freshness window (a stale beacon is rejected
+by every router, so re-replaying it is pointless anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.attacks.base import RoadsideAttacker
+from repro.geo.position import Position
+from repro.geonet.packets import BeaconBody
+from repro.radio.frames import Frame, FrameKind
+from repro.security.signing import SignedMessage
+
+
+class ReplayCoordinator:
+    """Shared replay ledger and mast roster for a coordinated deployment."""
+
+    def __init__(self, *, claim_window: float = 2.0, max_tracked: int = 8192):
+        if claim_window <= 0:
+            raise ValueError("claim_window must be positive")
+        if max_tracked < 1:
+            raise ValueError("max_tracked must be >= 1")
+        self.claim_window = claim_window
+        self.max_tracked = max_tracked
+        self.mast_addrs: Set[int] = set()
+        #: (source addr, pv timestamp) -> claim time
+        self._claims: Dict[Tuple[int, float], float] = {}
+        self.claims_granted = 0
+        self.claims_denied = 0
+
+    def register(self, mast: "CoordinatedInterceptor") -> None:
+        self.mast_addrs.add(mast.iface.address)
+
+    def is_mast(self, addr: int) -> bool:
+        return addr in self.mast_addrs
+
+    def claim(self, key: Tuple[int, float], now: float) -> bool:
+        """Grant the replay of ``key`` to the first mast that asks."""
+        claimed_at = self._claims.get(key)
+        if claimed_at is not None and now - claimed_at <= self.claim_window:
+            self.claims_denied += 1
+            return False
+        self._claims[key] = now
+        self.claims_granted += 1
+        if len(self._claims) >= self.max_tracked:
+            cutoff = now - self.claim_window
+            self._claims = {
+                k: t for k, t in self._claims.items() if t >= cutoff
+            }
+        return True
+
+
+class CoordinatedInterceptor(RoadsideAttacker):
+    """One mast of a coordinated inter-area deployment."""
+
+    def __init__(self, *, coordinator: ReplayCoordinator, **kwargs):
+        super().__init__(**kwargs)
+        self.coordinator = coordinator
+        self.beacons_replayed = 0
+        coordinator.register(self)
+
+    def react(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.BEACON:
+            return
+        payload = frame.payload
+        if not isinstance(payload, SignedMessage):
+            return
+        if self.coordinator.is_mast(frame.sender_addr):
+            return  # a fellow mast's replay — never echo it
+        body = payload.body
+        if not isinstance(body, BeaconBody):
+            return
+        key = (body.source_addr, body.pv.timestamp)
+        if not self.coordinator.claim(key, self.sim.now):
+            return  # another mast already replayed this beacon
+        self.beacons_replayed += 1
+        self.replay_frame(frame)
+
+
+def deploy_coordinated_masts(
+    *,
+    positions: Sequence[Position],
+    claim_window: float = 2.0,
+    **attacker_kwargs,
+) -> List[CoordinatedInterceptor]:
+    """Build one mast per position, all sharing a fresh coordinator.
+
+    ``attacker_kwargs`` are the :class:`RoadsideAttacker` constructor
+    arguments (sim, channel, streams, attack_range, ...); each mast gets a
+    distinct ``name`` so its pseudonym stream is independent.
+    """
+    coordinator = ReplayCoordinator(claim_window=claim_window)
+    return [
+        CoordinatedInterceptor(
+            coordinator=coordinator,
+            position=position,
+            name=f"mast-{index}",
+            **attacker_kwargs,
+        )
+        for index, position in enumerate(positions)
+    ]

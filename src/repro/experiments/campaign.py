@@ -46,6 +46,7 @@ from repro.experiments.figures import (
     fig14,
     tables,
 )
+from repro.experiments.detect import detect_sweep
 from repro.experiments.impairments import fault_sweep
 from repro.experiments.metrics import BinnedRates
 from repro.experiments.urban import urban_sweep
@@ -105,6 +106,7 @@ AB_TARGETS: Dict[str, Callable[..., Any]] = {
     "fig14b": fig14.fig14b,
     "faults": fault_sweep,
     "urban": urban_sweep,
+    "detect": detect_sweep,
 }
 
 
@@ -187,6 +189,7 @@ CAMPAIGN_TARGETS: List[str] = [
     "overhead",
     "faults",
     "urban",
+    "detect",
 ]
 
 #: CLI conveniences: aggregate names expanded to atomic targets.

@@ -159,6 +159,10 @@ def _run_target(name: str, args: argparse.Namespace) -> None:
         from repro.experiments.urban import urban_sweep
 
         _emit(urban_sweep(**kw).format())
+    elif name == "detect":
+        from repro.experiments.detect import detect_sweep
+
+        _emit(detect_sweep(**kw).format())
     elif name == "overhead":
         from repro.experiments.config import ExperimentConfig
         from repro.experiments.overhead import format_analysis
@@ -273,6 +277,7 @@ ALL_TARGETS = [
     "overhead",
     "faults",
     "urban",
+    "detect",
 ]
 
 
@@ -601,6 +606,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         ).parse_args(argv[1:])
         _validate_scheduler_args(args)
         return _run_saved(["urban"], args)
+    if argv and argv[0] == "detect":
+        # Store-backed like 'faults'/'urban': the {variant} x {impairment}
+        # x {scenario} detection grid resumes from the store.
+        args = _build_sweep_parser(
+            "detect",
+            "Score the online misbehavior detector over {single, "
+            "coordinated, mobile, adaptive} attackers x {clean, impaired} "
+            "x {highway, urban} (store-backed and resumable).",
+        ).parse_args(argv[1:])
+        _validate_scheduler_args(args)
+        return _run_saved(["detect"], args)
     args = _build_target_parser().parse_args(argv)
     if args.target == "campaign":
         raise SystemExit("usage: repro-experiments campaign <targets...>")

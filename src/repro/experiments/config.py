@@ -78,6 +78,14 @@ class RoadConfig:
             )
 
 
+#: Valid ``AttackConfig.variant`` values.  ``single`` is the paper's static
+#: mid-road mast; the others are the PR-9 threat-model extensions (all
+#: inter-area): ``coordinated`` multi-mast with greedy placement, a
+#: ``mobile`` attacker riding the traffic flow, and an ``adaptive``
+#: attacker that throttles its replay rate under detection thresholds.
+ATTACK_VARIANTS = ("single", "coordinated", "mobile", "adaptive")
+
+
 @dataclass(frozen=True)
 class AttackConfig:
     """Where the attacker sits and how it behaves."""
@@ -92,6 +100,19 @@ class AttackConfig:
     #: Intra-area mode: rewrite RHL to 1 (Spot 1) vs targeted replay (Spot 2).
     rewrite_rhl: bool = True
     replay_range: Optional[float] = None
+    #: Attacker variant (see :data:`ATTACK_VARIANTS`).
+    variant: str = "single"
+    #: ``coordinated``: number of masts, placed by greedy coverage.
+    n_masts: int = 3
+    #: ``mobile``: ground speed (m/s) along the flow, and position-update
+    #: cadence (seconds).
+    mobile_speed: float = 30.0
+    mobile_update_interval: float = 0.5
+    #: ``adaptive``: replay budget per alert window, the window it mirrors,
+    #: and the per-source replay cooldown.
+    adaptive_max_replays_per_window: float = 2.0
+    adaptive_window: float = 5.0
+    adaptive_cooldown: float = 6.0
 
     def __post_init__(self):
         if self.attack_range <= 0:
@@ -106,6 +127,44 @@ class AttackConfig:
         if self.replay_range is not None and self.replay_range <= 0:
             raise ConfigError(
                 f"attack.replay_range must be positive, got {self.replay_range!r}"
+            )
+        if self.variant not in ATTACK_VARIANTS:
+            raise ConfigError(
+                f"attack.variant must be one of {ATTACK_VARIANTS}, got "
+                f"{self.variant!r}"
+            )
+        if self.variant != "single" and self.kind is AttackKind.INTRA_AREA:
+            raise ConfigError(
+                "attack.variant extensions are inter-area only; "
+                f"got variant={self.variant!r} with kind=intra-area"
+            )
+        if self.n_masts < 1:
+            raise ConfigError(
+                f"attack.n_masts must be >= 1, got {self.n_masts!r}"
+            )
+        if self.mobile_speed <= 0:
+            raise ConfigError(
+                f"attack.mobile_speed must be positive, got {self.mobile_speed!r}"
+            )
+        if self.mobile_update_interval <= 0:
+            raise ConfigError(
+                "attack.mobile_update_interval must be positive, got "
+                f"{self.mobile_update_interval!r}"
+            )
+        if self.adaptive_max_replays_per_window <= 0:
+            raise ConfigError(
+                "attack.adaptive_max_replays_per_window must be positive, "
+                f"got {self.adaptive_max_replays_per_window!r}"
+            )
+        if self.adaptive_window <= 0:
+            raise ConfigError(
+                f"attack.adaptive_window must be positive, got "
+                f"{self.adaptive_window!r}"
+            )
+        if self.adaptive_cooldown < 0:
+            raise ConfigError(
+                "attack.adaptive_cooldown must be non-negative, got "
+                f"{self.adaptive_cooldown!r}"
             )
 
 
@@ -215,6 +274,70 @@ class UrbanConfig:
                 )
 
 
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Online misbehavior-detection pipeline knobs.
+
+    Disabled by default: a default run deploys no detectors, schedules no
+    window timer, and stays bit-identical to the seed goldens.  When
+    enabled, a :class:`~repro.core.online_detection.DetectionPipeline`
+    monitors every ``monitor_stride``-th vehicle and scores tumbling
+    ``window``-second windows against ``alert_rate_threshold`` (alerts per
+    monitored node per window; see ``docs/detection.md`` for calibration).
+    """
+
+    enabled: bool = False
+    #: Tumbling aggregation window (seconds).
+    window: float = 5.0
+    #: Alerts per monitored node per window that flag a window.
+    alert_rate_threshold: float = 5.0
+    #: Monitor every Nth spawned vehicle (1 = the whole fleet).
+    monitor_stride: int = 1
+    #: Per-detector knobs; None derives plausible_range from the
+    #: technology's vehicle range.
+    plausible_range: Optional[float] = None
+    dedup_window: float = 2.0
+    rhl_drop_threshold: int = 3
+    #: Bounded-state knobs forwarded to every MisbehaviorDetector.
+    max_tracked: int = 4096
+    prune_interval: float = 5.0
+
+    def __post_init__(self):
+        if self.window <= 0:
+            raise ConfigError(
+                f"detection.window must be positive, got {self.window!r}"
+            )
+        if self.alert_rate_threshold <= 0:
+            raise ConfigError(
+                "detection.alert_rate_threshold must be positive, got "
+                f"{self.alert_rate_threshold!r}"
+            )
+        if self.monitor_stride < 1:
+            raise ConfigError(
+                "detection.monitor_stride must be >= 1, got "
+                f"{self.monitor_stride!r}"
+            )
+        if self.plausible_range is not None and self.plausible_range <= 0:
+            raise ConfigError(
+                "detection.plausible_range must be positive (or None), got "
+                f"{self.plausible_range!r}"
+            )
+        if self.dedup_window <= 0:
+            raise ConfigError(
+                f"detection.dedup_window must be positive, got "
+                f"{self.dedup_window!r}"
+            )
+        if self.max_tracked < 1:
+            raise ConfigError(
+                f"detection.max_tracked must be >= 1, got {self.max_tracked!r}"
+            )
+        if self.prune_interval <= 0:
+            raise ConfigError(
+                "detection.prune_interval must be positive, got "
+                f"{self.prune_interval!r}"
+            )
+
+
 #: Valid ``ExperimentConfig.scenario`` values.
 SCENARIOS = ("highway", "urban")
 
@@ -232,6 +355,8 @@ class ExperimentConfig:
     geonet: GeoNetConfig = field(default_factory=GeoNetConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     attack: AttackConfig = field(default_factory=AttackConfig)
+    #: Online misbehavior detection (off by default — bit-identity).
+    detection: DetectionConfig = field(default_factory=DetectionConfig)
     duration: float = 200.0
     bin_width: float = 5.0
     mobility_dt: float = 0.1

@@ -49,6 +49,35 @@ def format_progress(snapshot: Dict[str, object]) -> str:
     return "campaign progress: " + ", ".join(parts)
 
 
+def detection_table(
+    rows: Sequence[tuple],
+) -> List[str]:
+    """Precision/recall/detection-latency table for the ``detect`` sweep.
+
+    ``rows`` is ``(label, metrics)`` with the metric dict produced by
+    :meth:`repro.experiments.detect.DetectCell.metrics`; latency is shown
+    in seconds (n/a when nothing was detected), the FP column quantifies
+    the attack-free alert volume under the cell's impairments.
+    """
+    lines = [
+        f"  {'cell':<28} {'recall':>7} {'prec':>7} {'latency':>8} "
+        f"{'fp-win':>7} {'fp-alerts':>9} {'drop':>7} {'replays':>8}"
+    ]
+    for label, metrics in rows:
+        latency = metrics.get("latency")
+        latency_txt = f"{latency:7.1f}s" if latency is not None else "     n/a"
+        fp_alerts = metrics.get("fp_alerts") or 0.0
+        replays = metrics.get("replays") or 0.0
+        lines.append(
+            f"  {label:<28} {fmt_pct(metrics.get('recall')):>7} "
+            f"{fmt_pct(metrics.get('precision')):>7} {latency_txt} "
+            f"{fmt_pct(metrics.get('fp_window_rate')):>7} "
+            f"{fp_alerts:9.0f} {fmt_pct(metrics.get('drop')):>7} "
+            f"{replays:8.0f}"
+        )
+    return lines
+
+
 def _breakdown_totals(runs: Sequence[RunResult]) -> Counter:
     totals: Counter = Counter()
     for run in runs:

@@ -105,8 +105,22 @@ def run_single(
         "mean_candidates_per_frame": stats.mean_candidates_per_frame,
     }
     if world.attacker is not None:
-        extras["replays_sent"] = float(world.attacker.stats.replays_sent)
-        extras["frames_sniffed"] = float(world.attacker.stats.frames_sniffed)
+        # Summed over every deployed attacker (coordinated runs several
+        # masts); single-attacker runs read identically to before.
+        extras["replays_sent"] = float(
+            sum(a.stats.replays_sent for a in world.attackers)
+        )
+        extras["frames_sniffed"] = float(
+            sum(a.stats.frames_sniffed for a in world.attackers)
+        )
+        extras["attackers_deployed"] = float(len(world.attackers))
+        withheld = sum(
+            getattr(a, "replays_withheld", 0) for a in world.attackers
+        )
+        if withheld:
+            extras["replays_withheld"] = float(withheld)
+    if world.detection is not None:
+        extras.update(world.detection.summary().extras())
     if world.fault_injector is not None:
         extras["frames_fault_dropped"] = float(stats.frames_fault_dropped)
         fault_stats = world.fault_injector.stats

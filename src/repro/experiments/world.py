@@ -16,8 +16,16 @@ import dataclasses
 from collections import Counter
 from typing import Callable, Dict, List, Optional
 
-from repro.core.attacks import InterAreaInterceptor, IntraAreaBlocker, RoadsideAttacker
-from repro.core.vulnerability import VulnerabilityModel
+from repro.core.attacks import (
+    AdaptiveInterceptor,
+    InterAreaInterceptor,
+    IntraAreaBlocker,
+    MobileInterceptor,
+    RoadsideAttacker,
+    deploy_coordinated_masts,
+)
+from repro.core.online_detection import DetectionPipeline
+from repro.core.vulnerability import VulnerabilityModel, greedy_mast_placement
 from repro.experiments.config import AttackKind, ExperimentConfig, WorkloadKind
 from repro.experiments.metrics import PacketOutcome, RunMetrics
 from repro.faults.injector import FaultInjector
@@ -108,6 +116,32 @@ class World:
                 streams=self.streams,
                 channel=self.channel,
                 ledger=ledger,
+            )
+
+        # --- online detection pipeline -------------------------------------
+        # Built before the traffic so the spawn hook can attach monitors to
+        # the prepopulated fleet.  Disabled (the default) constructs
+        # nothing: no detectors, no window timer, bit-identical runs.
+        self.detection: Optional[DetectionPipeline] = None
+        det_cfg = config.detection
+        if det_cfg.enabled:
+            self.detection = DetectionPipeline(
+                sim=self.sim,
+                window=det_cfg.window,
+                alert_rate_threshold=det_cfg.alert_rate_threshold,
+                ledger=ledger,
+                detector_kwargs=dict(
+                    plausible_range=(
+                        config.vehicle_range
+                        if det_cfg.plausible_range is None
+                        else det_cfg.plausible_range
+                    ),
+                    dedup_window=det_cfg.dedup_window,
+                    rhl_drop_threshold=det_cfg.rhl_drop_threshold,
+                    packet_lifetime=config.geonet.default_lifetime,
+                    max_tracked=det_cfg.max_tracked,
+                    prune_interval=det_cfg.prune_interval,
+                ),
             )
 
         # --- road traffic ------------------------------------------------
@@ -284,9 +318,14 @@ class World:
         )
 
         # --- attacker (B runs) ---------------------------------------------
+        #: All deployed attackers (one for ``single``/``mobile``/
+        #: ``adaptive``, ``n_masts`` for ``coordinated``); ``attacker``
+        #: stays the first one for back-compat with single-mast callers.
+        self.attackers: List[RoadsideAttacker] = []
         self.attacker: Optional[RoadsideAttacker] = None
         if attacked and config.attack.kind is not AttackKind.NONE:
-            self.attacker = self._build_attacker()
+            self.attackers = self._build_attackers()
+            self.attacker = self.attackers[0] if self.attackers else None
 
         # --- metrics & workload ---------------------------------------------
         self.metrics = RunMetrics(
@@ -361,11 +400,18 @@ class World:
             # Vehicles only: destinations are surveyed roadside units
             # (no GPS error) on wired power (no churn).
             self.fault_injector.adopt(node)
+        if (
+            self.detection is not None
+            and (seq - 1) % self.config.detection.monitor_stride == 0
+        ):
+            self.detection.attach(node)
 
     def _detach_node(self, vehicle) -> None:
         node = self.nodes.pop(vehicle.vehicle_id, None)
         if node is not None:
             self.node_by_addr.pop(node.address, None)
+            if self.detection is not None:
+                self.detection.detach(node)
             if self.fault_injector is not None:
                 self.fault_injector.release(node)
             if self.fleet is not None and vehicle.fleet_slot is not None:
@@ -411,6 +457,13 @@ class World:
         """
         if node.is_shut_down or node.is_down:
             return 0
+        # Passive monitors see the batch *before* the router, mirroring the
+        # per-frame path where the detector interposes ahead of the handler
+        # — without this, batched fleet-to-fleet delivery bypasses every
+        # detector (the PR-9 blind-spot fix).
+        if node.bulk_beacon_taps:
+            for tap in node.bulk_beacon_taps:
+                tap(batch, now)
         node.router.receive_beacons_bulk(batch, now)
         return len(batch)
 
@@ -447,7 +500,9 @@ class World:
             self.dest_nodes.append(node)
             self.node_by_addr[node.address] = node
 
-    def _build_attacker(self) -> RoadsideAttacker:
+    def _attacker_anchor(self) -> Position:
+        """The single-mast position (paper Fig 6: mid-road / central
+        intersection, laterally offset by ``y_offset``)."""
         cfg = self.config.attack
         if self.urban:
             # Curbside mast on the central vertical street, offset along it
@@ -458,22 +513,75 @@ class World:
                 self.grid.xs[len(self.grid.xs) // 2] if cfg.x is None else cfg.x
             )
             cy = self.grid.ys[len(self.grid.ys) // 2]
-            position = Position(cx, cy + cfg.y_offset)
-        else:
-            position = Position(self.config.attacker_x, cfg.y_offset)
+            return Position(cx, cy + cfg.y_offset)
+        return Position(self.config.attacker_x, cfg.y_offset)
+
+    def _build_attackers(self) -> List[RoadsideAttacker]:
+        cfg = self.config.attack
         common = dict(
             sim=self.sim,
             channel=self.channel,
             streams=self.streams,
-            position=position,
             attack_range=cfg.attack_range,
             reaction_delay=cfg.reaction_delay,
         )
-        if cfg.kind is AttackKind.INTER_AREA:
-            return InterAreaInterceptor(**common)
-        return IntraAreaBlocker(
-            rewrite_rhl=cfg.rewrite_rhl, replay_range=cfg.replay_range, **common
-        )
+        if cfg.kind is AttackKind.INTRA_AREA:
+            return [
+                IntraAreaBlocker(
+                    position=self._attacker_anchor(),
+                    rewrite_rhl=cfg.rewrite_rhl,
+                    replay_range=cfg.replay_range,
+                    **common,
+                )
+            ]
+        if cfg.variant == "coordinated":
+            # Greedy coverage-maximising placement along the road (highway)
+            # or along the central horizontal street (grid) — each mast
+            # keeps the single mast's lateral offset.
+            extent_x = self.grid.width if self.urban else self.road.length
+            xs = greedy_mast_placement(
+                n_masts=cfg.n_masts,
+                attack_range=cfg.attack_range,
+                road_length=extent_x,
+            )
+            if self.urban:
+                y = self.grid.ys[len(self.grid.ys) // 2] + cfg.y_offset
+            else:
+                y = cfg.y_offset
+            return deploy_coordinated_masts(
+                positions=[Position(x, y) for x in xs], **common
+            )
+        if cfg.variant == "mobile":
+            # Ride the flow end-to-end on the road centerline (highway) or
+            # along the central horizontal street (grid), wrapping at the
+            # far end like a fresh attacker vehicle entering.
+            if self.urban:
+                y = self.grid.ys[len(self.grid.ys) // 2]
+                path = [Position(0.0, y), Position(self.grid.width, y)]
+            else:
+                y = self.road.total_width / 2
+                path = [Position(0.0, y), Position(self.road.length, y)]
+            return [
+                MobileInterceptor(
+                    path=path,
+                    speed=cfg.mobile_speed,
+                    update_interval=cfg.mobile_update_interval,
+                    **common,
+                )
+            ]
+        if cfg.variant == "adaptive":
+            return [
+                AdaptiveInterceptor(
+                    position=self._attacker_anchor(),
+                    max_replays_per_window=cfg.adaptive_max_replays_per_window,
+                    alert_window=cfg.adaptive_window,
+                    per_source_cooldown=cfg.adaptive_cooldown,
+                    **common,
+                )
+            ]
+        return [
+            InterAreaInterceptor(position=self._attacker_anchor(), **common)
+        ]
 
     # ------------------------------------------------------------------
     # workload

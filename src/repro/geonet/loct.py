@@ -65,6 +65,13 @@ class LocationTable:
         self.purge_interval = ttl if purge_interval is None else purge_interval
         self._entries: Dict[int, LocationTableEntry] = {}
         self._next_purge_at = self.purge_interval
+        #: Churn counters (monotonic; never reset by :meth:`clear`).  An
+        #: inter-area attacker inflates ``inserts`` — every replayed beacon
+        #: teaches victims far "neighbors" they would never hear directly —
+        #: so the online detection pipeline streams these as features.
+        self.inserts = 0
+        self.refreshes = 0
+        self.purged = 0
 
     def update(
         self,
@@ -82,6 +89,7 @@ class LocationTable:
         self.maybe_purge(now)
         entry = self._entries.get(addr)
         if entry is None:
+            self.inserts += 1
             entry = LocationTableEntry(
                 addr=addr,
                 pv=pv,
@@ -91,6 +99,7 @@ class LocationTable:
             )
             self._entries[addr] = entry
         else:
+            self.refreshes += 1
             entry.pv = pv
             entry.updated_at = now
             entry.expires_at = now + self.ttl
@@ -120,6 +129,7 @@ class LocationTable:
         for addr, pv in pairs:
             entry = entries.get(addr)
             if entry is None:
+                self.inserts += 1
                 entries[addr] = LocationTableEntry(
                     addr=addr,
                     pv=pv,
@@ -128,6 +138,7 @@ class LocationTable:
                     is_neighbor=neighbor,
                 )
             else:
+                self.refreshes += 1
                 entry.pv = pv
                 entry.updated_at = now
                 entry.expires_at = expires_at
@@ -161,6 +172,7 @@ class LocationTable:
         dead = [addr for addr, e in self._entries.items() if not e.is_live(now)]
         for addr in dead:
             del self._entries[addr]
+        self.purged += len(dead)
         return len(dead)
 
     def maybe_purge(self, now: float) -> int:

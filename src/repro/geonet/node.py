@@ -107,6 +107,12 @@ class GeoNode:
         #: Optional :class:`~repro.observability.PacketLedger`; must be set
         #: before the router is built so every service can capture it.
         self.ledger = ledger
+        #: Observers of batched beacon deliveries (``tap(entries, now)``).
+        #: The fleet path hands beacons to the router without a Frame ever
+        #: crossing the radio handler, so passive monitors (misbehavior
+        #: detectors) register here to stay blind-spot-free.  Empty by
+        #: default: the hot loop pays one truthiness check per batch.
+        self.bulk_beacon_taps: list = []
         self.iface = RadioInterface(get_position=mobility.position, tx_range=tx_range)
         channel.register(self.iface)
         #: Per-node randomness (beacon jitter, LS flood jitter).

@@ -370,6 +370,24 @@ class BroadcastChannel:
             # re-reads the rest.
             self._positions_dirty = True
 
+    def refresh_interface_position(self, iface: RadioInterface) -> None:
+        """Re-index one interface whose position changed (a mobile mast).
+
+        Single-item analogue of :meth:`update_fleet_positions`: in batched
+        mode the mobility step only moves *fleet* items, so a moving
+        non-fleet interface must push its own position or its grid cell
+        goes permanently stale.  Falls back to the lazy full refresh when
+        the grid is absent, already dirty, or missing the item.
+        """
+        if not self._use_grid or self._grid is None or self._positions_dirty:
+            self._positions_dirty = True
+            return
+        pos = iface.get_position()
+        try:
+            self._grid.move(iface._grid_item, pos.x, pos.y)
+        except KeyError:
+            self._positions_dirty = True
+
     def add_obstruction(
         self, blocks: Callable[[Position, Position], bool]
     ) -> None:

@@ -1,0 +1,222 @@
+"""Tests for the extended threat model: coordinated multi-mast replay,
+the mobile attacker, and the adaptive (detector-aware) attacker."""
+
+import pytest
+
+from repro.core.attacks import (
+    AdaptiveInterceptor,
+    CoordinatedInterceptor,
+    InterAreaInterceptor,
+    ReplayCoordinator,
+    deploy_coordinated_masts,
+)
+from repro.core.detection import deploy_fleet_detectors
+from repro.core.vulnerability import (
+    coverage_fraction,
+    covered_length,
+    greedy_mast_placement,
+)
+from repro.geo.position import Position
+
+
+def attacker_kwargs(testbed, **overrides):
+    kwargs = dict(
+        sim=testbed.sim,
+        channel=testbed.channel,
+        streams=testbed.streams,
+        attack_range=600.0,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# greedy placement geometry
+# ----------------------------------------------------------------------
+class TestPlacement:
+    def test_covered_length_unions_overlaps(self):
+        # Two masts 100 m apart with R=200: union [0, 500] clipped.
+        assert covered_length(
+            [200.0, 300.0], attack_range=200.0, road_length=1000.0
+        ) == pytest.approx(500.0)
+
+    def test_covered_length_clips_to_the_road(self):
+        assert covered_length(
+            [0.0], attack_range=300.0, road_length=1000.0
+        ) == pytest.approx(300.0)
+
+    def test_greedy_returns_sorted_in_road_positions(self):
+        xs = greedy_mast_placement(
+            n_masts=3, attack_range=400.0, road_length=4000.0
+        )
+        assert len(xs) == 3
+        assert xs == sorted(xs)
+        assert all(0.0 <= x <= 4000.0 for x in xs)
+
+    def test_coverage_is_monotone_in_mast_count(self):
+        fractions = [
+            coverage_fraction(
+                greedy_mast_placement(
+                    n_masts=n, attack_range=400.0, road_length=4000.0
+                ),
+                attack_range=400.0,
+                road_length=4000.0,
+            )
+            for n in (1, 2, 3, 4)
+        ]
+        assert fractions == sorted(fractions)
+        # 4 masts x 800 m footprints nearly tile a 4 km road.
+        assert fractions[-1] > 0.75
+
+    def test_masts_spread_instead_of_stacking(self):
+        xs = greedy_mast_placement(
+            n_masts=2, attack_range=400.0, road_length=4000.0
+        )
+        assert abs(xs[1] - xs[0]) >= 400.0
+
+
+# ----------------------------------------------------------------------
+# coordinated masts
+# ----------------------------------------------------------------------
+class TestCoordinated:
+    def test_each_beacon_claimed_once_across_masts(self, testbed):
+        testbed.add_node(400.0)
+        masts = deploy_coordinated_masts(
+            positions=[Position(300.0, -10.0), Position(500.0, -10.0)],
+            **attacker_kwargs(testbed),
+        )
+        testbed.warm_up(12.0)
+        coordinator = masts[0].coordinator
+        assert coordinator.claims_granted > 0
+        # Both masts hear every beacon; the second asker is always denied.
+        assert coordinator.claims_denied > 0
+
+    def test_masts_never_replay_each_other(self, testbed):
+        testbed.add_node(400.0)
+        masts = deploy_coordinated_masts(
+            positions=[Position(300.0, -10.0), Position(500.0, -10.0)],
+            **attacker_kwargs(testbed),
+        )
+        testbed.warm_up(12.0)
+        # One source beaconing at period 3 emits <= 6 distinct beacons in
+        # 12 s; a mast-to-mast replay storm would send orders of magnitude
+        # more (each replay re-heard and re-replayed by the other mast).
+        replays = sum(m.beacons_replayed for m in masts)
+        assert 0 < replays <= 6
+        assert replays == masts[0].coordinator.claims_granted
+
+    def test_registered_masts_share_the_roster(self, testbed):
+        coordinator = ReplayCoordinator()
+        mast = CoordinatedInterceptor(
+            coordinator=coordinator,
+            position=Position(0.0, -10.0),
+            **attacker_kwargs(testbed),
+        )
+        assert coordinator.is_mast(mast.iface.address)
+
+    def test_claim_expires_after_the_window(self):
+        coordinator = ReplayCoordinator(claim_window=2.0)
+        assert coordinator.claim((1, 0.0), 0.0)
+        assert not coordinator.claim((1, 0.0), 1.0)
+        assert coordinator.claim((1, 0.0), 5.0)
+
+
+# ----------------------------------------------------------------------
+# mobile attacker
+# ----------------------------------------------------------------------
+class TestMobile:
+    def test_moves_along_the_path_and_wraps(self, testbed):
+        from repro.core.attacks.mobile import MobileInterceptor
+
+        attacker = MobileInterceptor(
+            path=[Position(0.0, -10.0), Position(100.0, -10.0)],
+            speed=20.0,
+            update_interval=0.5,
+            **attacker_kwargs(testbed),
+        )
+        testbed.sim.run_until(2.0)
+        assert attacker.position.x == pytest.approx(40.0)
+        testbed.sim.run_until(6.0)  # 120 m travelled: wrapped to 20 m
+        assert attacker.position.x == pytest.approx(20.0)
+        assert attacker.distance_travelled == pytest.approx(120.0)
+
+    def test_replays_while_moving(self, testbed):
+        from repro.core.attacks.mobile import MobileInterceptor
+
+        testbed.add_node(200.0)
+        attacker = MobileInterceptor(
+            path=[Position(0.0, -10.0), Position(400.0, -10.0)],
+            speed=30.0,
+            **attacker_kwargs(testbed),
+        )
+        testbed.warm_up(10.0)
+        assert attacker.stats.replays_sent > 0
+
+    def test_path_validation(self, testbed):
+        from repro.core.attacks.mobile import MobileInterceptor
+
+        with pytest.raises(ValueError):
+            MobileInterceptor(
+                path=[Position(0.0, 0.0)],
+                speed=10.0,
+                **attacker_kwargs(testbed),
+            )
+        with pytest.raises(ValueError):
+            MobileInterceptor(
+                path=[Position(0.0, 0.0), Position(1.0, 0.0)],
+                speed=0.0,
+                **attacker_kwargs(testbed),
+            )
+
+
+# ----------------------------------------------------------------------
+# adaptive attacker
+# ----------------------------------------------------------------------
+class TestAdaptive:
+    def scene(self, testbed):
+        """Three sources in attacker range, witnesses for replays."""
+        return testbed.chain(3, 350.0)
+
+    def test_replay_budget_is_respected(self, testbed):
+        self.scene(testbed)
+        attacker = AdaptiveInterceptor(
+            position=Position(350.0, -10.0),
+            max_replays_per_window=2.0,
+            alert_window=5.0,
+            per_source_cooldown=0.0,
+            **attacker_kwargs(testbed),
+        )
+        duration = 30.0
+        testbed.warm_up(duration)
+        budget = 2.0 * (duration / 5.0) + 2.0  # refills + the initial bucket
+        assert 0 < attacker.stats.replays_sent <= budget
+
+    def test_withholds_when_captures_exceed_budget(self, testbed):
+        self.scene(testbed)
+        attacker = AdaptiveInterceptor(
+            position=Position(350.0, -10.0),
+            max_replays_per_window=1.0,
+            alert_window=10.0,
+            per_source_cooldown=0.0,
+            **attacker_kwargs(testbed),
+        )
+        testbed.warm_up(30.0)
+        assert attacker.replays_withheld > 0
+
+    def test_quieter_than_the_static_interceptor(self, make_testbed):
+        def alerts_with(attacker_cls, **attacker_overrides):
+            bed = make_testbed(seed=7)
+            nodes = bed.chain(3, 350.0)
+            detectors = deploy_fleet_detectors(nodes)
+            attacker_cls(
+                position=Position(350.0, -10.0),
+                **attacker_kwargs(bed, **attacker_overrides),
+            )
+            bed.warm_up(30.0)
+            return sum(d.stats.total for d in detectors)
+
+        static_alerts = alerts_with(InterAreaInterceptor)
+        adaptive_alerts = alerts_with(
+            AdaptiveInterceptor, max_replays_per_window=1.0, alert_window=10.0
+        )
+        assert 0 < adaptive_alerts < static_alerts / 3

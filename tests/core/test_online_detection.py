@@ -1,0 +1,159 @@
+"""Tests for the online (streaming) detection layer: window scoring,
+feature aggregation, and the pipeline's monitor lifecycle."""
+
+import pytest
+
+from repro.core.attacks import InterAreaInterceptor
+from repro.core.online_detection import (
+    ALERT_KINDS,
+    DetectionPipeline,
+    OnlineDetector,
+)
+from repro.geo.position import Position
+
+
+# ----------------------------------------------------------------------
+# OnlineDetector (pure scoring)
+# ----------------------------------------------------------------------
+class TestOnlineDetector:
+    def close(self, detector, *, monitors=10, alerts=None, features=None,
+              start=0.0, end=5.0):
+        return detector.close_window(
+            start=start, end=end, monitors=monitors,
+            alerts=alerts or {}, features=features or {},
+        )
+
+    def test_alert_rate_is_per_monitor(self):
+        detector = OnlineDetector(alert_rate_threshold=5.0)
+        window = self.close(
+            detector, monitors=10, alerts={"replayed-beacon": 20}
+        )
+        assert window.alert_rate == pytest.approx(2.0)
+        assert window.score == pytest.approx(0.4)
+        assert not window.flagged
+
+    def test_window_flags_at_the_threshold(self):
+        detector = OnlineDetector(alert_rate_threshold=5.0)
+        window = self.close(
+            detector, monitors=2, alerts={"implausible-position": 10}
+        )
+        assert window.score == pytest.approx(1.0)
+        assert window.flagged
+
+    def test_first_detection_is_the_first_flagged_windows_end(self):
+        detector = OnlineDetector(alert_rate_threshold=1.0)
+        self.close(detector, monitors=5, alerts={}, start=0.0, end=5.0)
+        self.close(
+            detector, monitors=5, alerts={"replayed-beacon": 10},
+            start=5.0, end=10.0,
+        )
+        self.close(
+            detector, monitors=5, alerts={"replayed-beacon": 50},
+            start=10.0, end=15.0,
+        )
+        assert detector.first_detection == 10.0
+        assert [w.flagged for w in detector.windows] == [False, True, True]
+
+    def test_feature_threshold_can_flag_alone(self):
+        detector = OnlineDetector(
+            alert_rate_threshold=100.0,
+            feature_thresholds={"loct_inserts": 4.0},
+        )
+        window = self.close(detector, features={"loct_inserts": 8.0})
+        assert window.score == pytest.approx(2.0)
+        assert window.flagged
+
+    def test_zero_monitor_window_divides_safely(self):
+        detector = OnlineDetector()
+        window = self.close(detector, monitors=0, alerts={"rhl-anomaly": 3})
+        assert window.alert_rate == pytest.approx(3.0)
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            OnlineDetector(alert_rate_threshold=0.0)
+        with pytest.raises(ValueError):
+            OnlineDetector(feature_thresholds={"x": -1.0})
+
+
+# ----------------------------------------------------------------------
+# DetectionPipeline (wired into a testbed)
+# ----------------------------------------------------------------------
+class TestPipeline:
+    def test_attach_is_idempotent_per_node(self, testbed):
+        pipeline = DetectionPipeline(sim=testbed.sim)
+        node = testbed.add_node(0.0)
+        first = pipeline.attach(node)
+        assert pipeline.attach(node) is first
+        assert pipeline.monitors_attached == 1
+
+    def test_clean_traffic_closes_unflagged_windows(self, testbed):
+        pipeline = DetectionPipeline(sim=testbed.sim, window=5.0)
+        for node in testbed.chain(4, 350.0):
+            pipeline.attach(node)
+        testbed.warm_up(20.0)
+        summary = pipeline.summary()
+        assert summary.windows_total == 4
+        assert summary.windows_flagged == 0
+        assert not summary.detected
+        assert sum(summary.alert_totals.values()) == 0
+
+    def test_replay_attack_is_detected_within_a_window(self, testbed):
+        # Four monitors cap the per-monitor rate well below a highway's
+        # (~once per beacon per witness); scale the threshold to the scene.
+        pipeline = DetectionPipeline(
+            sim=testbed.sim, window=5.0, alert_rate_threshold=3.0
+        )
+        for node in testbed.chain(4, 350.0):
+            pipeline.attach(node)
+        InterAreaInterceptor(
+            sim=testbed.sim,
+            channel=testbed.channel,
+            streams=testbed.streams,
+            position=Position(500.0, -10.0),
+            attack_range=600.0,
+        )
+        testbed.warm_up(30.0)
+        summary = pipeline.summary()
+        assert summary.detected
+        assert summary.first_detection <= 10.0
+        assert summary.windows_flagged > 0
+
+    def test_detach_retires_features_without_breaking_deltas(self, testbed):
+        pipeline = DetectionPipeline(sim=testbed.sim, window=5.0)
+        nodes = testbed.chain(3, 350.0)
+        for node in nodes:
+            pipeline.attach(node)
+        testbed.warm_up(10.0)
+        pipeline.detach(nodes[0])
+        pipeline.detach(nodes[0])  # idempotent
+        testbed.warm_up(10.0)
+        summary = pipeline.summary()
+        assert summary.monitors == 2
+        assert summary.monitors_attached == 3
+        # Retiring a monitor must not make any feature delta negative
+        # (negative Counter entries silently vanish, which would hide
+        # churn from the scorer).
+        for window in pipeline.online.windows:
+            assert all(v >= 0 for v in window.features.values())
+
+    def test_feature_stream_sees_loct_churn(self, testbed):
+        pipeline = DetectionPipeline(sim=testbed.sim, window=5.0)
+        for node in testbed.chain(3, 350.0):
+            pipeline.attach(node)
+        testbed.warm_up(20.0)
+        inserts = sum(
+            w.features.get("loct_inserts", 0.0)
+            for w in pipeline.online.windows
+        )
+        assert inserts > 0
+
+    def test_extras_are_flat_floats_with_sentinel(self, testbed):
+        pipeline = DetectionPipeline(sim=testbed.sim, window=5.0)
+        pipeline.attach(testbed.add_node(0.0))
+        testbed.warm_up(11.0)
+        extras = pipeline.summary().extras()
+        assert extras["detect_first_detection_s"] == -1.0
+        assert extras["detect_windows_total"] == 2.0
+        assert all(isinstance(v, float) for v in extras.values())
+        for kind in ALERT_KINDS:
+            assert f"detect_alerts_{kind.replace('-', '_')}" in extras
