@@ -68,7 +68,7 @@ class RoadsideAttacker:
         self.stats = AttackerStats()
         self._pseudonyms = PseudonymPool(streams.get(f"attacker:{name}"))
         self.iface = RadioInterface(
-            get_position=lambda: self.position,
+            get_position=self._get_position,
             tx_range=self.attack_range,
             # Every link touching the attacker (sniffing and injection) runs
             # at the attack range — the roadside mast's asymmetric channel.
@@ -79,6 +79,10 @@ class RoadsideAttacker:
         channel.register(self.iface)
         self.iface.attach(self._on_frame)
         self._active = True
+
+    # ------------------------------------------------------------------
+    def _get_position(self):
+        return self.position
 
     # ------------------------------------------------------------------
     # sniffing

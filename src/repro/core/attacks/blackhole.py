@@ -62,7 +62,7 @@ class _BlackholeBase:
         self._rng = streams.get(f"blackhole:{name}")
         self._grayhole_p = grayhole_forward_probability
         self.iface = RadioInterface(
-            get_position=lambda: self.position,
+            get_position=self._get_position,
             tx_range=tx_range,
             address=PseudonymPool(self._rng).draw(),
         )
@@ -80,6 +80,9 @@ class _BlackholeBase:
         )
 
     # ------------------------------------------------------------------
+    def _get_position(self):
+        return self.position
+
     def _forge_beacon(self) -> None:
         body = BeaconBody(
             source_addr=self.iface.address,

@@ -329,7 +329,7 @@ def plan_campaign(
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def execute_spec(spec: RunSpec) -> Any:
+def execute_spec(spec: RunSpec, checkpoints: Optional[Tuple[Any, float]] = None) -> Any:
     """Execute one spec in the current process.
 
     Module-level so pool workers resolve it by name — tests may substitute
@@ -337,7 +337,15 @@ def execute_spec(spec: RunSpec) -> Any:
 
     Id counters are reset first, so the produced record is bit-identical
     whether this runs in a fresh pool process or as the N-th job of a
-    long-lived service worker.
+    long-lived service worker.  (A checkpoint restore reinstates the
+    counters *after* the reset, continuing the original process's ids.)
+
+    ``checkpoints`` — an optional ``(store, interval)`` pair.  When given,
+    ``ab`` specs execute through
+    :func:`~repro.experiments.checkpointing.run_single_resumable`:
+    snapshots every ``interval`` simulation seconds, automatic resume from
+    the newest valid checkpoint, byte-identical records either way.
+    ``text`` specs (cheap renders) never checkpoint.
     """
     from repro.experiments.world import reset_id_counters
 
@@ -345,6 +353,18 @@ def execute_spec(spec: RunSpec) -> Any:
     if spec.kind == "text":
         _params, render = TEXT_TARGETS[spec.target]
         return render(dict(spec.params or ()))
+    if checkpoints is not None:
+        from repro.experiments.checkpointing import run_single_resumable
+
+        store, interval = checkpoints
+        return run_single_resumable(
+            spec.config,
+            attacked=spec.attacked,
+            seed=spec.seed,
+            store=store,
+            key=spec.key,
+            interval=interval,
+        )
     return run_single(spec.config, attacked=spec.attacked, seed=spec.seed)
 
 

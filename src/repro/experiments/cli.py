@@ -224,6 +224,7 @@ def _run_saved(targets: List[str], args: argparse.Namespace) -> int:
                 retries=args.retries,
                 lease_ttl=getattr(args, "lease_ttl", None),
                 heartbeat_interval=getattr(args, "heartbeat", None),
+                checkpoint_interval=getattr(args, "checkpoint_interval", None),
                 status_port=getattr(args, "status_port", None),
                 partial=getattr(args, "partial", False),
                 log_stream=sys.stderr,
@@ -426,6 +427,16 @@ def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
         "http://127.0.0.1:P/status while the campaign runs (0 = any port)",
     )
     parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="checkpoint each worker's run every S seconds of simulation "
+        "time so a killed worker's successor resumes mid-run instead of "
+        "from t=0 (default: off; checkpoints are deleted when the run "
+        "commits)",
+    )
+    parser.add_argument(
         "--partial",
         action="store_true",
         help="assemble targets from whatever runs are stored (with a "
@@ -444,6 +455,9 @@ def _validate_scheduler_args(args: argparse.Namespace) -> None:
     port = getattr(args, "status_port", None)
     if port is not None and not 0 <= port <= 65535:
         raise SystemExit("--status-port must be in [0, 65535]")
+    checkpoint_interval = getattr(args, "checkpoint_interval", None)
+    if checkpoint_interval is not None and checkpoint_interval <= 0:
+        raise SystemExit("--checkpoint-interval must be > 0")
     if getattr(args, "workers", 0) == 0:
         # The pool path accepts but never reads the scheduler knobs; say
         # so instead of silently swallowing them (mirrors the single-run
@@ -454,6 +468,7 @@ def _validate_scheduler_args(args: argparse.Namespace) -> None:
                 ("--lease-ttl", "lease_ttl", 60.0),
                 ("--heartbeat", "heartbeat", None),
                 ("--status-port", "status_port", None),
+                ("--checkpoint-interval", "checkpoint_interval", None),
             )
             if getattr(args, attr, default) != default
         ]
@@ -515,6 +530,15 @@ def _build_status_parser() -> argparse.ArgumentParser:
         help="serve the counters on http://127.0.0.1:PORT/status until "
         "interrupted instead of printing them once (0 = any port)",
     )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="the running campaign's lease TTL — used to turn lease "
+        "deadlines into last-heartbeat ages (default: %(default)s, the "
+        "scheduler default)",
+    )
     return parser
 
 
@@ -522,6 +546,7 @@ def _run_status(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments.campaign import plan_campaign
+    from repro.experiments.service.leases import queue_for_store
     from repro.experiments.service.status import StatusServer, progress_snapshot
 
     store = _open_store(args)
@@ -531,11 +556,26 @@ def _run_status(args: argparse.Namespace) -> int:
         )
     except CampaignError as exc:
         raise SystemExit(str(exc))
+    # Read-only peek at the lease queue (if the store has one) so the
+    # report includes live workers, per-job checkpoint progress and
+    # last-heartbeat ages alongside the store counters.
+    queue = queue_for_store(store)
+    lease_ttl = getattr(args, "lease_ttl", 60.0)
     if args.serve is None:
-        print(json.dumps(progress_snapshot(store, specs), indent=2))
+        print(
+            json.dumps(
+                progress_snapshot(
+                    store, specs, queue=queue, lease_ttl=lease_ttl
+                ),
+                indent=2,
+            )
+        )
         return 0
     server = StatusServer(
-        lambda: progress_snapshot(store, specs), port=args.serve
+        lambda: progress_snapshot(
+            store, specs, queue=queue, lease_ttl=lease_ttl
+        ),
+        port=args.serve,
     )
     server.start()
     print(

@@ -191,10 +191,17 @@ class _ImpactScenario:
         every(
             world.sim,
             1.0,
-            lambda: self._send_warning(world),
+            self._send_warning_tick,
             start_delay=HAZARD_TIME,
         )
-        every(world.sim, 1.0, lambda: self._sample(world), start_delay=0.0)
+        every(world.sim, 1.0, self._sample_tick, start_delay=0.0)
+
+    # ------------------------------------------------------------------
+    def _send_warning_tick(self) -> None:
+        self._send_warning(self.world)
+
+    def _sample_tick(self) -> None:
+        self._sample(self.world)
 
     # ------------------------------------------------------------------
     def _on_gate_delivery(self, node: GeoNode, packet) -> None:

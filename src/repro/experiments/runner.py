@@ -90,7 +90,21 @@ def run_single(
     bit-identical with and without it.
     """
     world = World(config, attacked=attacked, seed=seed, ledger=ledger)
-    metrics = world.run()
+    world.run()
+    return summarize_world(world)
+
+
+def summarize_world(world: World) -> RunResult:
+    """Fold a *completed* world into a :class:`RunResult`.
+
+    Shared by :func:`run_single` and the checkpoint-resume path
+    (:mod:`repro.experiments.checkpointing`), which finishes a restored
+    world instead of a freshly built one — both must produce the identical
+    record for the identical simulated timeline.
+    """
+    metrics = world.metrics
+    attacked = world.attacked
+    ledger = world.ledger
     stats = world.channel.stats
     extras: Dict[str, float] = {
         "frames_sent": float(stats.frames_sent),

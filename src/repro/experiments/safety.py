@@ -106,9 +106,7 @@ class _CurveScenario:
         )
         self.traffic = TrafficSimulation(self.road, IdmParameters(), dt=0.1)
         self.traffic.on_step.append(self._control)
-        self.traffic.on_step.append(
-            lambda _now: self.channel.invalidate_positions()
-        )
+        self.traffic.on_step.append(self._invalidate_channel_positions)
         # The terrain blocks links between the two approaches; anything
         # mounted high (RSU at y=30, attacker mast at y=31) is exempt, and
         # vehicles close to one another around the bend can still hear
@@ -180,6 +178,9 @@ class _CurveScenario:
             self.run.v2_warned_at = self.sim.now
 
     # ------------------------------------------------------------------
+    def _invalidate_channel_positions(self, _now: float) -> None:
+        self.channel.invalidate_positions()
+
     def _control(self, now: float) -> None:
         self._control_v1(now)
         self._control_v2(now)

@@ -212,6 +212,16 @@ class LeaseStateMachine:
             if job.state == JobState.FAILED
         }
 
+    def deadlines(self, now: float) -> Dict[str, float]:
+        """``{job_id: deadline}`` of the live (unexpired) leases."""
+        return {
+            job_id: job.deadline
+            for job_id, job in self._jobs.items()
+            if job.state == JobState.LEASED
+            and job.deadline is not None
+            and not self._expired(job, now)
+        }
+
     # -- (de)serialisation ---------------------------------------------
     def to_dict(self) -> Dict[str, Dict]:
         return {
@@ -283,6 +293,11 @@ class LeaseQueue:
         return counts[JobState.PENDING] == 0 and counts[JobState.LEASED] == 0
 
     def errors(self) -> Dict[str, str]:
+        raise NotImplementedError
+
+    def deadlines(self) -> Dict[str, float]:
+        """``{job_id: lease deadline}`` of the live leases — the status
+        surface turns these into last-heartbeat ages."""
         raise NotImplementedError
 
 
@@ -387,6 +402,10 @@ class FileLeaseQueue(LeaseQueue):
     def errors(self) -> Dict[str, str]:
         with self._locked():
             return self._load().errors()
+
+    def deadlines(self) -> Dict[str, float]:
+        with self._locked():
+            return self._load().deadlines(self.clock())
 
 
 class SqliteLeaseQueue(LeaseQueue):
@@ -506,6 +525,15 @@ class SqliteLeaseQueue(LeaseQueue):
             (JobState.FAILED,),
         ).fetchall()
         return {str(job_id): str(error or "failed") for job_id, error in rows}
+
+    def deadlines(self) -> Dict[str, float]:
+        now = self.clock()
+        rows = self.store._conn().execute(
+            "SELECT job_id, deadline FROM jobs "
+            "WHERE state=? AND deadline>?",
+            (JobState.LEASED, now),
+        ).fetchall()
+        return {str(job_id): float(deadline) for job_id, deadline in rows}
 
 
 def job_id_for(key) -> str:

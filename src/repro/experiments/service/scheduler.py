@@ -31,6 +31,7 @@ substitute :func:`repro.experiments.campaign.execute_spec` in the parent
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
 import threading
@@ -71,6 +72,11 @@ class WorkerSettings:
     timeout: Optional[float] = None
     max_attempts: int = 3
     poll_interval: float = 0.2
+    #: Simulation seconds between run checkpoints; None (default) disables
+    #: checkpointing entirely — runs execute exactly as before.  Lives here
+    #: (not in ExperimentConfig) so enabling it never changes config
+    #: hashes, run keys or stored records.
+    checkpoint_interval: Optional[float] = None
 
     def __post_init__(self):
         if self.lease_ttl <= 0:
@@ -82,6 +88,11 @@ class WorkerSettings:
             and not 0 < self.heartbeat_interval < self.lease_ttl
         ):
             raise ValueError("heartbeat_interval must be in (0, lease_ttl)")
+        if (
+            self.checkpoint_interval is not None
+            and self.checkpoint_interval <= 0
+        ):
+            raise ValueError("checkpoint_interval must be > 0")
 
     @property
     def effective_heartbeat(self) -> float:
@@ -156,15 +167,33 @@ def worker_loop(
             continue
         if store.has(spec.key):
             # A previous holder crashed after persisting its result but
-            # before completing the lease; adopt the stored record.
+            # before completing the lease; adopt the stored record (and
+            # drop any checkpoint it left behind — the run is done).
+            store.delete_checkpoint(spec.key)
             queue.complete(worker_id, lease.job_id)
             completed += 1
             _wlog(log_stream, worker_id, f"adopted stored {spec.describe()}")
             continue
+        # Checkpointing rides an optional kwarg so fork-inherited test
+        # substitutes of execute_spec (single-argument crash injectors)
+        # keep working unmodified.
+        exec_kwargs = {}
+        if settings.checkpoint_interval is not None:
+            try:
+                parameters = inspect.signature(
+                    campaign_mod.execute_spec
+                ).parameters
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                parameters = {}
+            if "checkpoints" in parameters:
+                exec_kwargs["checkpoints"] = (
+                    store,
+                    settings.checkpoint_interval,
+                )
         with _Heartbeat(queue, worker_id, lease.job_id, settings) as heartbeat:
             try:
                 with alarm_deadline(settings.timeout):
-                    result = campaign_mod.execute_spec(spec)
+                    result = campaign_mod.execute_spec(spec, **exec_kwargs)
             except BaseException as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 state = queue.fail(worker_id, lease.job_id, error)
@@ -183,13 +212,18 @@ def worker_loop(
             # The lease was stolen mid-run (e.g. a long GC pause past the
             # TTL).  The result is deterministic, so storing it anyway is
             # harmless — but the lease belongs to someone else now.
-            _store_result(store, spec, result)
+            with store.batch():
+                _store_result(store, spec, result)
+                store.delete_checkpoint(spec.key)
             _wlog(log_stream, worker_id, f"lost lease on {spec.describe()}")
             continue
         # Persist + complete atomically where the backend can (SQLite:
         # one transaction; JSON: atomic record write, then completion).
+        # The run's checkpoint is garbage-collected in the same commit —
+        # completed runs never leave checkpoint debris behind.
         with store.batch():
             _store_result(store, spec, result)
+            store.delete_checkpoint(spec.key)
             acknowledged = queue.complete(worker_id, lease.job_id)
         if acknowledged:
             completed += 1
@@ -274,6 +308,7 @@ def run_service_campaign(
     timeout: Optional[float] = None,
     lease_ttl: Optional[float] = None,
     heartbeat_interval: Optional[float] = None,
+    checkpoint_interval: Optional[float] = None,
     status_port: Optional[int] = None,
     partial: bool = False,
     respawn_budget: Optional[int] = None,
@@ -306,6 +341,8 @@ def run_service_campaign(
         settings = replace(settings, timeout=timeout)
     if retries is not None:
         settings = replace(settings, max_attempts=retries + 1)
+    if checkpoint_interval is not None:
+        settings = replace(settings, checkpoint_interval=checkpoint_interval)
 
     started = time.time()
     target_list = resolve_targets(targets)
@@ -334,7 +371,9 @@ def run_service_campaign(
     status_server: Optional[StatusServer] = None
     if status_port is not None:
         status_server = StatusServer(
-            lambda: progress_snapshot(store, specs, queue=queue),
+            lambda: progress_snapshot(
+                store, specs, queue=queue, lease_ttl=settings.lease_ttl
+            ),
             port=status_port,
         )
         status_server.start()

@@ -32,20 +32,33 @@ def progress_snapshot(
     specs: Sequence,
     *,
     queue=None,
+    lease_ttl: Optional[float] = None,
 ) -> Dict[str, object]:
     """The standard progress counters of a (possibly running) campaign.
 
     ``stored``/``failures`` come from the result store (ground truth),
     the lease-state counters from the queue when one is attached.  All
     values are plain JSON scalars, ready for the status endpoint.
+
+    For each unfinished run that has a checkpoint or a live lease, a
+    ``jobs`` entry reports the newest checkpoint's simulation time
+    (``checkpoint_sim_time``, None when the run has never checkpointed)
+    and — when both ``queue`` and ``lease_ttl`` are given — how long ago
+    the lease holder last heartbeat (``heartbeat_age_s``, reconstructed
+    as ``lease_ttl - (deadline - now)``).
     """
+    from repro.experiments.service.leases import job_id_for
+
     stored = 0
     failures = 0
+    in_flight = []
     for spec in specs:
         if store.has(spec.key):
             stored += 1
         elif store.get_failure(spec.key) is not None:
             failures += 1
+        else:
+            in_flight.append(spec)
     planned = len(specs)
     snapshot: Dict[str, object] = {
         "backend": store.describe(),
@@ -55,11 +68,34 @@ def progress_snapshot(
         "remaining": planned - stored,
         "percent": round(100.0 * stored / planned, 2) if planned else 100.0,
         "quarantined": store.quarantine_count(),
+        "checkpoints_quarantined": store.checkpoint_quarantine_count(),
     }
+    deadlines: Dict[str, float] = {}
     if queue is not None:
         counts = queue.counts()
         snapshot["queue"] = counts
         snapshot["workers_active"] = counts.get("leased", 0)
+        deadlines = queue.deadlines()
+    now = queue.clock() if queue is not None else 0.0
+    jobs = []
+    for spec in in_flight:
+        if spec.kind == "text":
+            continue  # text artifacts never checkpoint
+        sim_time = store.checkpoint_sim_time(spec.key)
+        job_id = job_id_for(spec.key)
+        leased = job_id in deadlines
+        if sim_time is None and not leased:
+            continue  # nothing to report: never checkpointed, not running
+        entry: Dict[str, object] = {
+            "job": job_id,
+            "checkpoint_sim_time": sim_time,
+        }
+        if leased and lease_ttl is not None:
+            entry["heartbeat_age_s"] = round(
+                max(0.0, lease_ttl - (deadlines[job_id] - now)), 3
+            )
+        jobs.append(entry)
+    snapshot["jobs"] = jobs
     return snapshot
 
 

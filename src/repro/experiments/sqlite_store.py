@@ -79,6 +79,23 @@ CREATE TABLE IF NOT EXISTS jobs (
     attempts INTEGER NOT NULL DEFAULT 0,
     error    TEXT
 );
+CREATE TABLE IF NOT EXISTS checkpoints (
+    target      TEXT    NOT NULL,
+    config_hash TEXT    NOT NULL,
+    seed        INTEGER NOT NULL,
+    attacked    INTEGER NOT NULL,
+    sim_time    REAL    NOT NULL,
+    payload     TEXT    NOT NULL,
+    PRIMARY KEY (target, config_hash, seed, attacked)
+);
+CREATE TABLE IF NOT EXISTS checkpoint_quarantine (
+    target      TEXT    NOT NULL,
+    config_hash TEXT    NOT NULL,
+    seed        INTEGER NOT NULL,
+    attacked    INTEGER NOT NULL,
+    payload     TEXT    NOT NULL,
+    reason      TEXT    NOT NULL
+);
 """
 
 
@@ -266,6 +283,105 @@ class SqliteResultStore(ResultStoreBase):
         return int(
             self._conn().execute("SELECT COUNT(*) FROM quarantine").fetchone()[0]
         )
+
+    # -- checkpoints -----------------------------------------------------
+    def put_checkpoint(self, key: RunKey, envelope: Dict[str, Any]) -> RunKey:
+        payload = json.dumps(envelope, separators=(",", ":"))
+        try:
+            sim_time = float(envelope.get("sim_time", 0.0))
+        except (TypeError, ValueError):
+            sim_time = 0.0
+        with self._txn() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO checkpoints "
+                "(target, config_hash, seed, attacked, sim_time, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    key.target,
+                    key.config_hash,
+                    key.seed,
+                    int(key.attacked),
+                    sim_time,
+                    payload,
+                ),
+            )
+        return key
+
+    def get_checkpoint(self, key: RunKey) -> Optional[Dict[str, Any]]:
+        row = self._conn().execute(
+            "SELECT payload FROM checkpoints "
+            "WHERE target=? AND config_hash=? AND seed=? AND attacked=?",
+            (key.target, key.config_hash, key.seed, int(key.attacked)),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            envelope = json.loads(row[0])
+        except (TypeError, json.JSONDecodeError):
+            self.quarantine_checkpoint(key, "unparseable checkpoint payload")
+            return None
+        if not isinstance(envelope, dict):
+            self.quarantine_checkpoint(key, "non-dict checkpoint payload")
+            return None
+        return envelope
+
+    def delete_checkpoint(self, key: RunKey) -> None:
+        with self._txn() as conn:
+            conn.execute(
+                "DELETE FROM checkpoints "
+                "WHERE target=? AND config_hash=? AND seed=? AND attacked=?",
+                (key.target, key.config_hash, key.seed, int(key.attacked)),
+            )
+
+    def quarantine_checkpoint(self, key: RunKey, reason: str) -> None:
+        try:
+            with self._txn() as conn:
+                row = conn.execute(
+                    "SELECT payload FROM checkpoints "
+                    "WHERE target=? AND config_hash=? AND seed=? AND attacked=?",
+                    (key.target, key.config_hash, key.seed, int(key.attacked)),
+                ).fetchone()
+                if row is None:
+                    return
+                conn.execute(
+                    "INSERT INTO checkpoint_quarantine "
+                    "(target, config_hash, seed, attacked, payload, reason) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        key.target,
+                        key.config_hash,
+                        key.seed,
+                        int(key.attacked),
+                        str(row[0]),
+                        reason,
+                    ),
+                )
+                conn.execute(
+                    "DELETE FROM checkpoints "
+                    "WHERE target=? AND config_hash=? AND seed=? AND attacked=?",
+                    (key.target, key.config_hash, key.seed, int(key.attacked)),
+                )
+        except sqlite3.Error:
+            pass
+
+    def checkpoint_quarantine_count(self) -> int:
+        return int(
+            self._conn().execute(
+                "SELECT COUNT(*) FROM checkpoint_quarantine"
+            ).fetchone()[0]
+        )
+
+    def checkpoint_sim_time(self, key: RunKey) -> Optional[float]:
+        """Answered from the indexed ``sim_time`` column — the status
+        endpoint polls this per job, so the multi-MiB payload stays cold."""
+        row = self._conn().execute(
+            "SELECT sim_time FROM checkpoints "
+            "WHERE target=? AND config_hash=? AND seed=? AND attacked=?",
+            (key.target, key.config_hash, key.seed, int(key.attacked)),
+        ).fetchone()
+        if row is None:
+            return None
+        return float(row[0])
 
     # -- queries --------------------------------------------------------
     def iter_keys(self) -> Iterator[RunKey]:

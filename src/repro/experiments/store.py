@@ -52,6 +52,9 @@ SCHEMA_VERSION = 1
 #: Default store root, relative to the working directory.
 DEFAULT_RESULTS_DIR = "results"
 
+#: Subdirectory (JSON backend) holding checkpoint envelopes for a config.
+CHECKPOINT_DIRNAME = "_ckpt"
+
 
 class StoreError(RuntimeError):
     """Raised on malformed store operations (not on missing records)."""
@@ -323,6 +326,51 @@ class ResultStoreBase:
     def count(self) -> int:
         return sum(1 for _ in self.iter_keys())
 
+    # -- checkpoints -----------------------------------------------------
+    # Checkpoints live in a separate namespace from run records: one
+    # envelope per key, overwritten in place (the newest checkpoint is the
+    # only one kept), invisible to ``iter_keys``/``has``/``count`` and
+    # garbage-collected when the run completes.  An envelope that cannot
+    # even be parsed is quarantined by ``get_checkpoint`` itself; one that
+    # parses but fails validation (version skew, digest mismatch) is
+    # quarantined by the *resume* layer via ``quarantine_checkpoint`` —
+    # either way the key reads as checkpoint-less and the run restarts
+    # from scratch.
+
+    def put_checkpoint(self, key: RunKey, envelope: Dict[str, Any]) -> Any:
+        """Persist the (single) checkpoint envelope for ``key``."""
+        raise NotImplementedError
+
+    def get_checkpoint(self, key: RunKey) -> Optional[Dict[str, Any]]:
+        """The stored checkpoint envelope, or None; quarantines garbage."""
+        raise NotImplementedError
+
+    def delete_checkpoint(self, key: RunKey) -> None:
+        """Drop the checkpoint for ``key`` (no-op when absent)."""
+        raise NotImplementedError
+
+    def quarantine_checkpoint(self, key: RunKey, reason: str) -> None:
+        """Move an invalid checkpoint aside (evidence kept, key reads
+        checkpoint-less); best-effort, never raises."""
+        raise NotImplementedError
+
+    def checkpoint_quarantine_count(self) -> int:
+        """How many invalid checkpoints have been moved aside."""
+        raise NotImplementedError
+
+    def checkpoint_sim_time(self, key: RunKey) -> Optional[float]:
+        """The stored checkpoint's simulation time, or None.
+
+        Status/monitoring helper — backends may answer from metadata
+        without materialising the payload."""
+        envelope = self.get_checkpoint(key)
+        if envelope is None:
+            return None
+        try:
+            return float(envelope["sim_time"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
 
 # ----------------------------------------------------------------------
 # the JSON backend (the default)
@@ -340,10 +388,23 @@ class ResultStore(ResultStoreBase):
     def path_for(self, key: RunKey) -> Path:
         return self.root / key.target / key.config_hash / key.filename
 
+    def checkpoint_path_for(self, key: RunKey) -> Path:
+        """Checkpoint envelopes live under ``<hash>/_ckpt/`` so the run
+        record globs (``s*-*.json`` one level up) never see them."""
+        return (
+            self.root
+            / key.target
+            / key.config_hash
+            / CHECKPOINT_DIRNAME
+            / key.filename
+        )
+
     # -- raw records ----------------------------------------------------
     def _write_record(self, key: RunKey, record: Dict[str, Any]) -> Path:
         """Atomically write ``record`` for ``key`` (temp file + replace)."""
-        path = self.path_for(key)
+        return self._atomic_write(self.path_for(key), record)
+
+    def _atomic_write(self, path: Path, record: Dict[str, Any]) -> Path:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.name + ".", suffix=".tmp", dir=path.parent
@@ -400,6 +461,55 @@ class ResultStore(ResultStoreBase):
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*/*.json.corrupt"))
+
+    # -- checkpoints -----------------------------------------------------
+    def put_checkpoint(self, key: RunKey, envelope: Dict[str, Any]) -> Path:
+        return self._atomic_write(self.checkpoint_path_for(key), envelope)
+
+    def get_checkpoint(self, key: RunKey) -> Optional[Dict[str, Any]]:
+        path = self.checkpoint_path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(path)
+            return None
+        if not isinstance(envelope, dict):
+            self._quarantine(path)
+            return None
+        return envelope
+
+    def delete_checkpoint(self, key: RunKey) -> None:
+        try:
+            os.unlink(self.checkpoint_path_for(key))
+        except OSError:
+            pass
+
+    def quarantine_checkpoint(self, key: RunKey, reason: str) -> None:
+        # The rename preserves the evidence; the reason lands in a tiny
+        # sidecar next to it (best-effort, like the rename itself).
+        path = self.checkpoint_path_for(key)
+        self._quarantine(path)
+        try:
+            corrupt = path.with_name(path.name + ".corrupt")
+            if corrupt.exists():
+                corrupt.with_name(corrupt.name + ".reason").write_text(
+                    reason, encoding="utf-8"
+                )
+        except OSError:
+            pass
+
+    def checkpoint_quarantine_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for _ in self.root.glob(
+                f"*/*/{CHECKPOINT_DIRNAME}/*.json.corrupt"
+            )
+        )
 
     # -- queries --------------------------------------------------------
     def iter_keys(self) -> Iterator[RunKey]:

@@ -73,6 +73,14 @@ def reset_id_counters() -> None:
     reset_frame_ids()
 
 
+def _fleet_member_active(node: GeoNode) -> bool:
+    return not (node.is_shut_down or node.is_down)
+
+
+def _member_extra_jitter(node: GeoNode) -> float:
+    return node._draw_beacon_extra_jitter()
+
+
 class World:
     """One assembled scenario, attack-free (A) or attacked (B)."""
 
@@ -233,9 +241,7 @@ class World:
             )
         if self.fleet is not None:
             fleet = self.fleet
-            self.traffic.on_step.append(
-                lambda _now: fleet.push_positions_to_channel()
-            )
+            self.traffic.on_step.append(self._push_fleet_positions)
             tick = (
                 config.mobility_dt
                 if config.fleet_beacon_tick is None
@@ -251,19 +257,15 @@ class World:
                 tick=tick,
                 make_beacon=self._make_fleet_beacon,
                 bulk_sink=self._fleet_beacon_sink,
-                member_active=lambda node: not (
-                    node.is_shut_down or node.is_down
-                ),
+                member_active=_fleet_member_active,
                 extra_delay=(
-                    (lambda node: node._draw_beacon_extra_jitter())
+                    _member_extra_jitter
                     if self.fault_injector is not None
                     else None
                 ),
             )
         else:
-            self.traffic.on_step.append(
-                lambda _now: self.channel.invalidate_positions()
-            )
+            self.traffic.on_step.append(self._invalidate_channel_positions)
 
         # --- nodes --------------------------------------------------------
         self.nodes: Dict[int, GeoNode] = {}  # vehicle_id -> node
@@ -338,7 +340,7 @@ class World:
         if config.invariant_check_interval is not None:
             self.invariant_checker = InvariantChecker(
                 self.sim,
-                iter_nodes=lambda: list(self.nodes.values()) + self.dest_nodes,
+                iter_nodes=self._iter_all_nodes,
                 channel=self.channel,
                 ledger=ledger,
             )
@@ -357,6 +359,18 @@ class World:
                 self._generate_packet,
                 start_delay=1.0,
             )
+
+    # ------------------------------------------------------------------
+    # traffic-step hooks (named so a checkpointed world stays picklable)
+    # ------------------------------------------------------------------
+    def _push_fleet_positions(self, _now: float) -> None:
+        self.fleet.push_positions_to_channel()
+
+    def _invalidate_channel_positions(self, _now: float) -> None:
+        self.channel.invalidate_positions()
+
+    def _iter_all_nodes(self):
+        return list(self.nodes.values()) + self.dest_nodes
 
     # ------------------------------------------------------------------
     # node lifecycle
@@ -752,6 +766,29 @@ class World:
             self._started = True
         self.sim.run_until(self.config.duration if duration is None else duration)
         return self.metrics
+
+    def snapshot(self) -> bytes:
+        """Serialize the whole world (plus global allocators) to bytes.
+
+        The inverse is :meth:`restore`; the restored world continues the
+        run bit-identically to this process (see
+        :mod:`repro.sim.checkpoint` for the contract and its rules).
+        """
+        from repro.sim.checkpoint import snapshot_world
+
+        return snapshot_world(self)
+
+    @staticmethod
+    def restore(blob: bytes) -> "World":
+        """Rebuild a :meth:`snapshot` world, reinstating global counters."""
+        from repro.sim.checkpoint import CheckpointError, restore_world
+
+        world = restore_world(blob)
+        if not isinstance(world, World):
+            raise CheckpointError(
+                f"checkpoint does not contain a World (got {type(world).__name__})"
+            )
+        return world
 
     def vehicles_on_road(self, direction: Optional[Direction] = None) -> int:
         """Convenience passthrough for impact studies."""

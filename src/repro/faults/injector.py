@@ -169,31 +169,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _make_pv_fault(self) -> Callable[[PositionVector], PositionVector]:
         """A per-node beacon-PV transform with its own drift state."""
-        gps = self.plan.gps
-        rng = self._gps_rng
-        state = {"ox": 0.0, "oy": 0.0, "last": None}
-
-        def fault(pv: PositionVector) -> PositionVector:
-            ox, oy = state["ox"], state["oy"]
-            if gps.drift_rate > 0.0:
-                last = state["last"]
-                dt = 0.0 if last is None else max(pv.timestamp - last, 0.0)
-                if dt > 0.0:
-                    step = gps.drift_rate * math.sqrt(dt)
-                    ox += rng.gauss(0.0, step)
-                    oy += rng.gauss(0.0, step)
-                    state["ox"], state["oy"] = ox, oy
-                state["last"] = pv.timestamp
-            dx, dy = ox, oy
-            if gps.error_stddev > 0.0:
-                dx += rng.gauss(0.0, gps.error_stddev)
-                dy += rng.gauss(0.0, gps.error_stddev)
-            self.stats.gps_faulted_beacons += 1
-            if dx == 0.0 and dy == 0.0:
-                return pv
-            return replace(pv, position=pv.position.translated(dx, dy))
-
-        return fault
+        return _PvFault(self)
 
     # ------------------------------------------------------------------
     # beacon timing
@@ -201,6 +177,44 @@ class FaultInjector:
     def _draw_extra_jitter(self) -> float:
         self.stats.extra_jitter_draws += 1
         return self._jitter_rng.uniform(0.0, self.plan.beacon.extra_jitter)
+
+
+class _PvFault:
+    """Per-node beacon-PV transform with its own drift state.
+
+    A class (not a closure) so a node graph holding these remains
+    picklable for checkpointing; the shared injector reference keeps the
+    ``fault:gps`` stream and stats counters aliased across nodes.
+    """
+
+    def __init__(self, injector: FaultInjector):
+        self._injector = injector
+        self._ox = 0.0
+        self._oy = 0.0
+        self._last: Optional[float] = None
+
+    def __call__(self, pv: PositionVector) -> PositionVector:
+        injector = self._injector
+        gps = injector.plan.gps
+        rng = injector._gps_rng
+        ox, oy = self._ox, self._oy
+        if gps.drift_rate > 0.0:
+            last = self._last
+            dt = 0.0 if last is None else max(pv.timestamp - last, 0.0)
+            if dt > 0.0:
+                step = gps.drift_rate * math.sqrt(dt)
+                ox += rng.gauss(0.0, step)
+                oy += rng.gauss(0.0, step)
+                self._ox, self._oy = ox, oy
+            self._last = pv.timestamp
+        dx, dy = ox, oy
+        if gps.error_stddev > 0.0:
+            dx += rng.gauss(0.0, gps.error_stddev)
+            dy += rng.gauss(0.0, gps.error_stddev)
+        injector.stats.gps_faulted_beacons += 1
+        if dx == 0.0 and dy == 0.0:
+            return pv
+        return replace(pv, position=pv.position.translated(dx, dy))
 
 
 __all__ = ["FaultInjector", "FaultStats"]

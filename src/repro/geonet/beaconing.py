@@ -45,29 +45,32 @@ class BeaconService:
         #: or swapped mid-run; None adds nothing.
         self.extra_jitter = extra_jitter
         self.beacons_sent = 0
-
-        def _tick() -> None:
-            send_beacon()
-            self.beacons_sent += 1
-
-        def _draw_jitter() -> float:
-            # The base draw happens exactly when (and only when) the
-            # pre-fault implementation drew it, so a run without the hook
-            # consumes the identical RNG sequence — and adding the hook's
-            # 0.0 when it is unset leaves every delay bit-identical.
-            delay = self._rng.uniform(0, self._jitter) if self._jitter > 0 else 0.0
-            extra = self.extra_jitter
-            if extra is not None:
-                delay += extra()
-            return delay
-
+        # Bound methods, not closures: the pending tick lives in the event
+        # heap, and checkpointing re-registers events by (object, method
+        # name) descriptor — see repro.sim.checkpoint.
+        self._send_beacon = send_beacon
         self._process = PeriodicProcess(
             sim,
             period,
-            _tick,
+            self._tick,
             start_delay=rng.uniform(0, period),
-            jitter=_draw_jitter,
+            jitter=self._draw_jitter,
         )
+
+    def _tick(self) -> None:
+        self._send_beacon()
+        self.beacons_sent += 1
+
+    def _draw_jitter(self) -> float:
+        # The base draw happens exactly when (and only when) the
+        # pre-fault implementation drew it, so a run without the hook
+        # consumes the identical RNG sequence — and adding the hook's
+        # 0.0 when it is unset leaves every delay bit-identical.
+        delay = self._rng.uniform(0, self._jitter) if self._jitter > 0 else 0.0
+        extra = self.extra_jitter
+        if extra is not None:
+            delay += extra()
+        return delay
 
     def stop(self) -> None:
         """Stop beaconing (node leaving the simulation)."""

@@ -123,9 +123,7 @@ class GeoNode:
         #: forwarding services can capture it.
         self.dcc: Optional[DccGate] = None
         if config.dcc_enabled:
-            self.dcc = DccGate(
-                sim, config, lambda: channel.medium_busy(mobility.position())
-            )
+            self.dcc = DccGate(sim, config, self._medium_busy)
         self.router = GeoRouter(self)
         self.iface.attach(self._on_frame)
         self.beacon_service: Optional[BeaconService] = None
@@ -150,13 +148,10 @@ class GeoNode:
                 raise ValueError("pseudonym_period must be positive")
             from repro.sim.process import PeriodicProcess
 
-            def _rotate_tick() -> None:
-                self.rotate_pseudonym()
-
             self._rotation_process = PeriodicProcess(
                 sim,
                 pseudonym_period,
-                _rotate_tick,
+                self._rotate_tick,
                 start_delay=pseudonym_period,
             )
 
@@ -174,6 +169,18 @@ class GeoNode:
         """Extra per-cycle beacon delay from the fault layer (0.0 unset)."""
         hook = self.beacon_extra_jitter
         return 0.0 if hook is None else hook()
+
+    def _medium_busy(self) -> bool:
+        """Whether the medium is busy at the node's current position (the
+        DCC/CBF carrier-sense probe, as a checkpointable descriptor)."""
+        return self.channel.medium_busy(self.mobility.position())
+
+    def _get_address(self) -> int:
+        """The current link-layer address (survives pseudonym rotation)."""
+        return self.iface.address
+
+    def _rotate_tick(self) -> None:
+        self.rotate_pseudonym()
 
     # ------------------------------------------------------------------
     # identity / state

@@ -75,9 +75,9 @@ class GeoRouter:
             deliver=self._deliver_local,
             broadcast=self._cbf_broadcast,
             rng=node.rng,
-            medium_busy=lambda: node.channel.medium_busy(node.position()),
+            medium_busy=node._medium_busy,
             ledger=self.ledger,
-            get_addr=lambda: node.address,
+            get_addr=node._get_address,
             dcc=node.dcc,
         )
         self.unicast = UnicastService(self)

@@ -59,6 +59,7 @@ class ShbService:
         self.stats = ShbStats()
         self.on_receive: List[Callable[[GeoNode, ShbBody], None]] = []
         self._process: Optional[PeriodicProcess] = None
+        self._payload_fn: Optional[Callable[[], str]] = None
         self._inner = node.iface.handler
         node.iface.attach(self._observe)
 
@@ -85,12 +86,16 @@ class ShbService:
             raise ValueError("rate_hz must be positive")
         if self._process is not None:
             raise RuntimeError("periodic SHB already started")
+        self._payload_fn = payload_fn
         self._process = PeriodicProcess(
             self.node.sim,
             1.0 / rate_hz,
-            lambda: self.send(payload_fn()),
+            self._periodic_send,
             start_delay=self.node.rng.uniform(0, 1.0 / rate_hz),
         )
+
+    def _periodic_send(self) -> None:
+        self.send(self._payload_fn())
 
     def stop(self) -> None:
         """Stop periodic sending (reception keeps working)."""

@@ -54,6 +54,17 @@ def reset_addresses() -> None:
     global _address_counter
     _address_counter = itertools.count(1)
 
+
+def address_state():
+    """The live address counter (captured by checkpoints)."""
+    return _address_counter
+
+
+def set_address_state(counter) -> None:
+    """Replace the address counter (restored by checkpoints)."""
+    global _address_counter
+    _address_counter = counter
+
 #: Fallback grid cell size when no registered interface implies one.
 _DEFAULT_CELL_SIZE = 500.0
 

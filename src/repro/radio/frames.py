@@ -24,6 +24,17 @@ def reset_frame_ids() -> None:
     _frame_counter = itertools.count()
 
 
+def frame_id_state():
+    """The live frame-id counter (captured by checkpoints)."""
+    return _frame_counter
+
+
+def set_frame_id_state(counter) -> None:
+    """Replace the frame-id counter (restored by checkpoints)."""
+    global _frame_counter
+    _frame_counter = counter
+
+
 class FrameKind(enum.Enum):
     """The GeoNetworking message type carried by a frame."""
 

@@ -44,6 +44,21 @@ def clear_key_registry() -> None:
     _KEY_REGISTRY.clear()
 
 
+def key_registry_state() -> Dict[str, str]:
+    """A copy of the CA keypair registry (captured by checkpoints).
+
+    A restored world re-verifies messages signed before the checkpoint, so
+    a fresh process must recover the registry alongside the world graph —
+    without it every pre-checkpoint signature reads as unenrolled."""
+    return dict(_KEY_REGISTRY)
+
+
+def set_key_registry_state(state: Dict[str, str]) -> None:
+    """Replace the CA keypair registry (restored by checkpoints)."""
+    _KEY_REGISTRY.clear()
+    _KEY_REGISTRY.update(state)
+
+
 def canonical_bytes(body: Any) -> bytes:
     """A canonical byte encoding of a message body.
 

@@ -250,3 +250,39 @@ class Simulator:
     def stop(self) -> None:
         """Stop the current :meth:`run`/:meth:`run_until` after this event."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture clock, heap and counters for a checkpoint.
+
+        The heap entries reference live :class:`Event` objects (whose
+        callbacks must themselves be picklable — see
+        :mod:`repro.sim.checkpoint`); callers serialize the returned dict
+        together with the object graph those callbacks close over, so
+        shared identity is preserved.  Must not be called from inside a
+        running event loop.
+        """
+        if self._running:
+            raise SimulationError("cannot snapshot while the event loop runs")
+        return {
+            "now": self._now,
+            "heap": list(self._heap),
+            "seq": self._seq,
+            "events_fired": self._events_fired,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` taken from an equivalent simulator.
+
+        Wall-clock counters are deliberately not restored: they describe
+        this process's run loops, not the simulated timeline.
+        """
+        if self._running:
+            raise SimulationError("cannot restore while the event loop runs")
+        self._now = state["now"]
+        self._heap = list(state["heap"])
+        self._seq = state["seq"]
+        self._events_fired = state["events_fired"]
+        self._stopped = False

@@ -51,6 +51,17 @@ def reset_grid_vehicle_ids() -> None:
     global _grid_vehicle_counter
     _grid_vehicle_counter = itertools.count(1)
 
+
+def grid_vehicle_id_state():
+    """The live grid-vehicle-id counter (captured by checkpoints)."""
+    return _grid_vehicle_counter
+
+
+def set_grid_vehicle_id_state(counter) -> None:
+    """Replace the grid-vehicle-id counter (restored by checkpoints)."""
+    global _grid_vehicle_counter
+    _grid_vehicle_counter = counter
+
 #: Axis labels for corridors: horizontal streets run along x, vertical
 #: streets along y.
 HORIZONTAL = "h"
@@ -546,11 +557,15 @@ class GridTrafficSimulation:
         """Schedule the mobility loop on the event engine."""
         if self._process is not None:
             raise RuntimeError("grid traffic simulation already started")
+        self._sim = sim
         self._process = PeriodicProcess(
             sim,
             self.dt,
-            lambda: self.step(sim.now),
+            self._mobility_tick,
             start_delay=self.dt,
             priority=MOBILITY_PRIORITY,
         )
         return self._process
+
+    def _mobility_tick(self) -> None:
+        self.step(self._sim.now)

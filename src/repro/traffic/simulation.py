@@ -412,11 +412,15 @@ class TrafficSimulation:
         """Schedule the mobility loop on the event engine."""
         if self._process is not None:
             raise RuntimeError("traffic simulation already started")
+        self._sim = sim
         self._process = PeriodicProcess(
             sim,
             self.dt,
-            lambda: self.step(sim.now),
+            self._mobility_tick,
             start_delay=self.dt,
             priority=MOBILITY_PRIORITY,
         )
         return self._process
+
+    def _mobility_tick(self) -> None:
+        self.step(self._sim.now)

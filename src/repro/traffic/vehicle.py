@@ -28,6 +28,17 @@ def reset_vehicle_ids() -> None:
     _vehicle_counter = itertools.count(1)
 
 
+def vehicle_id_state():
+    """The live vehicle-id counter (captured by checkpoints)."""
+    return _vehicle_counter
+
+
+def set_vehicle_id_state(counter) -> None:
+    """Replace the vehicle-id counter (restored by checkpoints)."""
+    global _vehicle_counter
+    _vehicle_counter = counter
+
+
 @dataclass(eq=False)
 class Vehicle:
     """A vehicle on the road.

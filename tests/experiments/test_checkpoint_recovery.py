@@ -1,0 +1,132 @@
+"""Preemption-safe resume in the campaign service (ISSUE acceptance).
+
+A worker is SIGKILLed mid-run *after* its first interval checkpoint; the
+successor that re-leases the job must adopt the checkpoint and resume
+mid-run (never from t=0), the completed campaign's records must be
+byte-identical to an uninterrupted baseline campaign, and completed runs
+must garbage-collect their checkpoints.
+
+The kill and resume points are observed through the module-level test
+seams in :mod:`repro.experiments.checkpointing`
+(``_post_checkpoint_hook`` / ``_on_resume_hook``), which worker
+processes inherit across ``fork``.
+"""
+
+import json
+import os
+import signal
+
+from repro.experiments import checkpointing
+from repro.experiments.campaign import plan_campaign, run_campaign
+from repro.experiments.service.scheduler import (
+    WorkerSettings,
+    run_service_campaign,
+)
+from repro.experiments.service.status import progress_snapshot
+from repro.experiments.store import ResultStore, open_store
+
+KW = dict(runs=1, duration=6.0, seed=1)
+CHECKPOINT_INTERVAL = 2.0
+
+
+def canonical(record):
+    """Mask the wall-clock perf counters, then require bitwise identity
+    (same idiom as ``test_crash_recovery``)."""
+    extras = record["result"]["extras"]
+    for counter in ("wall_time_s", "events_per_wall_sec"):
+        assert counter in extras
+        extras[counter] = 0.0
+    return json.dumps(record, sort_keys=True)
+
+
+def test_sigkilled_worker_resumes_from_checkpoint_bit_identically(
+    tmp_path, monkeypatch
+):
+    # Uninterrupted baseline: plain single-process campaign, JSON store.
+    json_store = ResultStore(tmp_path / "json")
+    reference = run_campaign(
+        ["fig7a"], store=json_store, resume=True, processes=1,
+        log_stream=None, **KW,
+    )
+    assert reference.ok
+
+    specs = plan_campaign(["fig7a"], **KW)
+    crash_spec = next(s for s in specs if s.attacked)
+    sentinel = tmp_path / "killed"
+    resume_log = tmp_path / "resumes.log"
+
+    def kill_after_first_checkpoint(key, sim_time):
+        if (
+            key.config_hash == crash_spec.key.config_hash
+            and key.seed == crash_spec.key.seed
+            and key.attacked
+            and not sentinel.exists()
+        ):
+            sentinel.write_text(f"{sim_time}")
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def record_resume(key, sim_time):
+        with open(resume_log, "a", encoding="utf-8") as handle:
+            handle.write(f"{key.filename}:{sim_time}\n")
+
+    monkeypatch.setattr(
+        checkpointing, "_post_checkpoint_hook", kill_after_first_checkpoint
+    )
+    monkeypatch.setattr(checkpointing, "_on_resume_hook", record_resume)
+
+    sqlite_store = open_store(tmp_path / "sqlite", backend="sqlite")
+    report = run_service_campaign(
+        ["fig7a"],
+        store=sqlite_store,
+        workers=2,
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        settings=WorkerSettings(
+            lease_ttl=2.0, heartbeat_interval=0.5, poll_interval=0.05
+        ),
+        log_stream=None,
+        **KW,
+    )
+    assert sentinel.exists(), "the worker was never killed"
+    assert report.ok
+    assert report.executed == len(specs)
+
+    # The successor adopted the checkpoint: it resumed from the killed
+    # worker's last saved sim time, so the re-simulated span is bounded
+    # by one checkpoint interval — never the whole run.
+    killed_at = float(sentinel.read_text())
+    assert killed_at >= CHECKPOINT_INTERVAL
+    resumes = [
+        float(line.rsplit(":", 1)[1])
+        for line in resume_log.read_text().splitlines()
+    ]
+    assert resumes, "the successor restarted from scratch, not a checkpoint"
+    assert killed_at in resumes
+    assert all(t > 0.0 for t in resumes)
+
+    # Byte-identical records vs the uninterrupted baseline.
+    json_keys = sorted(
+        json_store.iter_keys(),
+        key=lambda k: (k.target, k.config_hash, k.seed, k.attacked),
+    )
+    sqlite_keys = sorted(
+        sqlite_store.iter_keys(),
+        key=lambda k: (k.target, k.config_hash, k.seed, k.attacked),
+    )
+    assert json_keys == sqlite_keys and len(json_keys) == len(specs)
+    for k in json_keys:
+        assert canonical(json_store.get_record(k)) == canonical(
+            sqlite_store.get_record(k)
+        )
+    assert report.outputs["fig7a"] == reference.outputs["fig7a"]
+
+    # Completed runs garbage-collect their checkpoints; nothing was
+    # quarantined along the way.
+    for spec in specs:
+        assert sqlite_store.checkpoint_sim_time(spec.key) is None
+    assert sqlite_store.checkpoint_quarantine_count() == 0
+
+    # And the status surface reports the finished campaign cleanly.
+    snapshot = progress_snapshot(sqlite_store, specs)
+    assert snapshot["percent"] == 100.0
+    assert snapshot["jobs"] == []
+    assert snapshot["checkpoints_quarantined"] == 0
